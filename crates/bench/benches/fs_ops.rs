@@ -1,0 +1,80 @@
+//! Criterion microbenchmarks of the individual file system operations the
+//! paper's workloads are built from, across the three xv6 stacks.
+//!
+//! These run with the zero-cost device model, so they measure the *software*
+//! overhead of each stack (the BentoFS translation layer, the VFS baseline,
+//! the FUSE round trip) rather than modelled device time — the complement of
+//! the `paper_suite` bench, which measures the modelled end-to-end numbers.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use simkernel::cost::CostModel;
+use simkernel::vfs::OpenFlags;
+use workloads::{mount_stack, FsStack};
+
+fn bench_creates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("create_close_unlink");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for stack in FsStack::xv6_variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(stack.label()), &stack, |b, &stack| {
+            let mounted = mount_stack(stack, CostModel::zero(), 32 * 1024).expect("mount");
+            let vfs = Arc::clone(&mounted.vfs);
+            let mut i = 0u64;
+            b.iter(|| {
+                // Create and immediately unlink so a long Criterion run does
+                // not exhaust the inode table or grow the directory without
+                // bound.
+                let path = format!("/bench-create-{i}");
+                i += 1;
+                let fd = vfs.open(&path, OpenFlags::WRONLY.with(OpenFlags::CREAT)).expect("create");
+                vfs.close(fd).expect("close");
+                vfs.unlink(&path).expect("unlink");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_write_4k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_4k_fsync");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for stack in FsStack::xv6_variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(stack.label()), &stack, |b, &stack| {
+            let mounted = mount_stack(stack, CostModel::zero(), 32 * 1024).expect("mount");
+            let vfs = Arc::clone(&mounted.vfs);
+            let fd = vfs.open("/bench-write", OpenFlags::RDWR.with(OpenFlags::CREAT)).expect("create");
+            let data = vec![0xABu8; 4096];
+            b.iter(|| {
+                vfs.pwrite(fd, &data, 0).expect("write");
+                vfs.fsync(fd).expect("fsync");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cached_read_4k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cached_read_4k");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for stack in FsStack::xv6_variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(stack.label()), &stack, |b, &stack| {
+            let mounted = mount_stack(stack, CostModel::zero(), 32 * 1024).expect("mount");
+            let vfs = Arc::clone(&mounted.vfs);
+            let fd = vfs.open("/bench-read", OpenFlags::RDWR.with(OpenFlags::CREAT)).expect("create");
+            vfs.write(fd, &vec![1u8; 1 << 20]).expect("fill");
+            let mut buf = vec![0u8; 4096];
+            let mut offset = 0u64;
+            b.iter(|| {
+                offset = (offset + 4096) % (1 << 20);
+                vfs.pread(fd, &mut buf, offset).expect("read");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_creates, bench_write_4k, bench_cached_read_4k);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! `cargo bench -p bench --bench paper_suite` — runs the full paper
+//! experiment harness in quick mode and prints every table/figure.
+//!
+//! This is a plain binary (no Criterion harness): the paper's results are
+//! throughput tables produced by the workload generators themselves, so the
+//! "bench" is the harness run.  Use the `paper_experiments` binary for the
+//! full-length version.
+
+use bench::{
+    fig2_read_4k, fig3_read_throughput, fig4_write_throughput, print_rows, table1_bug_analysis,
+    table4_create, table5_delete, table6_macrobenchmarks, ExperimentConfig,
+};
+
+fn main() {
+    // `cargo bench` passes flags like `--bench`; ignore them.
+    let cfg = ExperimentConfig::quick();
+    println!("paper_suite: quick-mode reproduction of every table and figure");
+    print_rows("Table 1 (bug study)", &table1_bug_analysis());
+    match fig2_read_4k(&cfg) {
+        Ok(rows) => print_rows("Figure 2 (4 KiB reads)", &rows),
+        Err(e) => eprintln!("fig2 failed: {e}"),
+    }
+    match fig3_read_throughput(&cfg) {
+        Ok(rows) => print_rows("Figure 3 (read throughput)", &rows),
+        Err(e) => eprintln!("fig3 failed: {e}"),
+    }
+    match fig4_write_throughput(&cfg) {
+        Ok(rows) => print_rows("Figure 4 (write throughput)", &rows),
+        Err(e) => eprintln!("fig4 failed: {e}"),
+    }
+    match table4_create(&cfg) {
+        Ok(rows) => print_rows("Table 4 (creates)", &rows),
+        Err(e) => eprintln!("table4 failed: {e}"),
+    }
+    match table5_delete(&cfg) {
+        Ok(rows) => print_rows("Table 5 (deletes)", &rows),
+        Err(e) => eprintln!("table5 failed: {e}"),
+    }
+    match table6_macrobenchmarks(&cfg) {
+        Ok(rows) => print_rows("Table 6 (macrobenchmarks)", &rows),
+        Err(e) => eprintln!("table6 failed: {e}"),
+    }
+}

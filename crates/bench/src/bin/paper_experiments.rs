@@ -1,0 +1,96 @@
+//! Regenerates the tables and figures of the Bento paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin paper_experiments -- all
+//! cargo run --release -p bench --bin paper_experiments -- table4 table6 --quick
+//! cargo run --release -p bench --bin paper_experiments -- all --json results.json
+//! ```
+
+use std::collections::BTreeSet;
+
+use bench::{
+    fig2_read_4k, fig3_read_throughput, fig4_write_throughput, print_rows, rows_to_json,
+    table1_bug_analysis, table2_mechanism_comparison, table4_create, table5_delete,
+    table6_macrobenchmarks, ExperimentConfig, Row,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut selected: BTreeSet<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != json_path.as_deref())
+        .cloned()
+        .collect();
+    if selected.is_empty() || selected.contains("all") {
+        selected = ["table1", "table2", "fig2", "fig3", "fig4", "table4", "table5", "table6"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
+    println!(
+        "Bento reproduction: paper experiments ({} mode, {} ms per configuration, {} high-thread count)",
+        if quick { "quick" } else { "full" },
+        cfg.duration.as_millis(),
+        cfg.threads_high
+    );
+
+    let mut all_rows: Vec<Row> = Vec::new();
+    fn run(
+        all_rows: &mut Vec<Row>,
+        name: &str,
+        rows: Result<Vec<Row>, simkernel::error::KernelError>,
+        title: &str,
+    ) {
+        match rows {
+            Ok(rows) => {
+                print_rows(title, &rows);
+                all_rows.extend(rows);
+            }
+            Err(e) => eprintln!("{name} failed: {e}"),
+        }
+    }
+
+    if selected.contains("table1") {
+        let rows = table1_bug_analysis();
+        print_rows("Table 1: bug study (counts and derived percentages)", &rows);
+        all_rows.extend(rows);
+    }
+    if selected.contains("table2") {
+        println!("\n=== Table 2: extensibility mechanisms (safety / performance / generality / online upgrade) ===");
+        for (mechanism, cells) in table2_mechanism_comparison() {
+            println!("{mechanism:<6} {:<6} {:<12} {:<11} {}", cells[0], cells[1], cells[2], cells[3]);
+        }
+    }
+    if selected.contains("fig2") {
+        run(&mut all_rows, "fig2", fig2_read_4k(&cfg), "Figure 2: 4 KiB read performance (ops/sec)");
+    }
+    if selected.contains("fig3") {
+        run(&mut all_rows, "fig3", fig3_read_throughput(&cfg), "Figure 3: read throughput (MB/s)");
+    }
+    if selected.contains("fig4") {
+        run(&mut all_rows, "fig4", fig4_write_throughput(&cfg), "Figure 4: write throughput (MB/s)");
+    }
+    if selected.contains("table4") {
+        run(&mut all_rows, "table4", table4_create(&cfg), "Table 4: create microbenchmark (ops/sec)");
+    }
+    if selected.contains("table5") {
+        run(&mut all_rows, "table5", table5_delete(&cfg), "Table 5: delete microbenchmark (ops/sec)");
+    }
+    if selected.contains("table6") {
+        run(&mut all_rows, "table6", table6_macrobenchmarks(&cfg), "Table 6: macrobenchmarks");
+    }
+
+    if let Some(path) = json_path {
+        match std::fs::write(&path, rows_to_json(&all_rows)) {
+            Ok(()) => println!("\nwrote {} rows to {path}", all_rows.len()),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! The experiments: one function per table / figure of the paper.
+
+use std::time::Duration;
+
+use simkernel::cost::CostModel;
+use simkernel::error::KernelResult;
+
+use bugdb::BugStudy;
+use workloads::{
+    create_micro, delete_micro, fileserver, generate_linux_like_manifest, mount_stack, read_micro,
+    untar, varmail, write_micro, AccessPattern, FsStack,
+};
+
+use crate::report::Row;
+
+/// Knobs shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Measured duration of each timed workload configuration.
+    pub duration: Duration,
+    /// Thread count for the "32 thread" configurations.
+    pub threads_high: usize,
+    /// Device/boundary cost model.
+    pub model: CostModel,
+    /// Disk size in 4 KiB blocks.
+    pub disk_blocks: u64,
+    /// Size of the file used by the read/write microbenchmarks, in bytes.
+    pub micro_file_size: u64,
+    /// Files pre-created per thread for the delete microbenchmark.
+    pub delete_precreate_total: usize,
+    /// Files per thread for varmail / fileserver; threads used for macros.
+    pub macro_files_per_thread: usize,
+    /// Threads for the macrobenchmarks.
+    pub macro_threads: usize,
+    /// Files in the synthetic untar manifest.
+    pub untar_files: usize,
+}
+
+impl ExperimentConfig {
+    /// The full configuration used for EXPERIMENTS.md numbers.
+    pub fn full() -> Self {
+        ExperimentConfig {
+            duration: Duration::from_millis(500),
+            threads_high: 32,
+            model: CostModel::nvme_ssd(),
+            disk_blocks: 96 * 1024, // 384 MiB
+            micro_file_size: 24 * 1024 * 1024,
+            delete_precreate_total: 800,
+            macro_files_per_thread: 50,
+            macro_threads: 8,
+            untar_files: 350,
+        }
+    }
+
+    /// A scaled-down configuration for smoke tests and `cargo bench`.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            duration: Duration::from_millis(150),
+            threads_high: 8,
+            model: CostModel::nvme_ssd_scaled(4),
+            disk_blocks: 48 * 1024,
+            micro_file_size: 8 * 1024 * 1024,
+            delete_precreate_total: 200,
+            macro_files_per_thread: 15,
+            macro_threads: 4,
+            untar_files: 120,
+        }
+    }
+
+    fn delete_per_thread(&self, threads: usize) -> usize {
+        (self.delete_precreate_total / threads).max(20)
+    }
+}
+
+/// Table 1: the bug study counts and derived percentages.
+pub fn table1_bug_analysis() -> Vec<Row> {
+    let study = BugStudy::published();
+    let mut rows: Vec<Row> = study
+        .table1()
+        .iter()
+        .map(|c| Row::new("table1", c.name, "-", c.count as f64, "bugs", Some(c.count as f64)))
+        .collect();
+    let summary = study.summary();
+    rows.push(Row::new("table1", "memory %", "-", summary.memory_fraction * 100.0, "%", Some(68.0)));
+    rows.push(Row::new(
+        "table1",
+        "prevented by Rust %",
+        "-",
+        summary.prevented_by_rust_fraction * 100.0,
+        "%",
+        Some(93.0),
+    ));
+    rows.push(Row::new("table1", "kernel oops %", "-", summary.oops_fraction * 100.0, "%", Some(26.0)));
+    rows.push(Row::new("table1", "memory leak %", "-", summary.leak_fraction * 100.0, "%", Some(34.0)));
+    rows
+}
+
+/// Table 2: the qualitative mechanism comparison (safety / performance /
+/// generality / online upgrade), encoded so the binary can print it.
+pub fn table2_mechanism_comparison() -> Vec<(String, [&'static str; 4])> {
+    vec![
+        ("VFS".to_string(), ["no", "yes", "yes", "no"]),
+        ("FUSE".to_string(), ["yes", "no", "yes", "no"]),
+        ("eBPF".to_string(), ["yes", "yes", "no", "no"]),
+        ("Bento".to_string(), ["yes", "yes", "yes", "yes"]),
+    ]
+}
+
+/// Figure 2: 4 KiB read ops/sec for seq/rnd × 1/32 threads, three xv6
+/// stacks.
+///
+/// # Errors
+///
+/// Propagates mount/workload errors.
+pub fn fig2_read_4k(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
+    let mut rows = Vec::new();
+    for stack in FsStack::xv6_variants() {
+        let mounted = mount_stack(stack, cfg.model.clone(), cfg.disk_blocks)?;
+        for (pattern, threads, label) in [
+            (AccessPattern::Sequential, 1, "seq-1t"),
+            (AccessPattern::Sequential, cfg.threads_high, "seq-32t"),
+            (AccessPattern::Random, 1, "rnd-1t"),
+            (AccessPattern::Random, cfg.threads_high, "rnd-32t"),
+        ] {
+            let result =
+                read_micro(&mounted.vfs, cfg.micro_file_size, 4096, pattern, threads, cfg.duration)?;
+            rows.push(Row::new("fig2", label, stack.label(), result.ops_per_sec(), "ops/sec", None));
+        }
+        mounted.unmount()?;
+    }
+    Ok(rows)
+}
+
+/// Figure 3: read throughput (MB/s) at 32 KiB / 128 KiB / 1024 KiB request
+/// sizes, seq/rnd × 1/32 threads.
+///
+/// # Errors
+///
+/// Propagates mount/workload errors.
+pub fn fig3_read_throughput(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
+    let mut rows = Vec::new();
+    for stack in FsStack::xv6_variants() {
+        let mounted = mount_stack(stack, cfg.model.clone(), cfg.disk_blocks)?;
+        for io_size in [32 * 1024usize, 128 * 1024, 1024 * 1024] {
+            for (pattern, threads, label) in [
+                (AccessPattern::Sequential, 1, "seq-1t"),
+                (AccessPattern::Sequential, cfg.threads_high, "seq-32t"),
+                (AccessPattern::Random, 1, "rnd-1t"),
+                (AccessPattern::Random, cfg.threads_high, "rnd-32t"),
+            ] {
+                let result = read_micro(
+                    &mounted.vfs,
+                    cfg.micro_file_size,
+                    io_size,
+                    pattern,
+                    threads,
+                    cfg.duration,
+                )?;
+                let config = format!("{}k-{label}", io_size / 1024);
+                rows.push(Row::new("fig3", &config, stack.label(), result.throughput_mbps(), "MB/s", None));
+            }
+        }
+        mounted.unmount()?;
+    }
+    Ok(rows)
+}
+
+/// Figure 4: write throughput (MB/s) at 32 KiB / 128 KiB / 1024 KiB request
+/// sizes for seq-1t, rnd-1t and rnd-32t.
+///
+/// # Errors
+///
+/// Propagates mount/workload errors.
+pub fn fig4_write_throughput(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
+    let mut rows = Vec::new();
+    for stack in FsStack::xv6_variants() {
+        for io_size in [32 * 1024usize, 128 * 1024, 1024 * 1024] {
+            for (pattern, threads, label) in [
+                (AccessPattern::Sequential, 1, "seq-1t"),
+                (AccessPattern::Random, 1, "rnd-1t"),
+                (AccessPattern::Random, cfg.threads_high, "rnd-32t"),
+            ] {
+                let mounted = mount_stack(stack, cfg.model.clone(), cfg.disk_blocks)?;
+                let result = write_micro(
+                    &mounted.vfs,
+                    cfg.micro_file_size,
+                    io_size,
+                    pattern,
+                    threads,
+                    cfg.duration,
+                )?;
+                let config = format!("{}k-{label}", io_size / 1024);
+                rows.push(Row::new("fig4", &config, stack.label(), result.throughput_mbps(), "MB/s", None));
+                mounted.unmount()?;
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Table 4: file creation ops/sec, 1 and 32 threads.
+///
+/// # Errors
+///
+/// Propagates mount/workload errors.
+pub fn table4_create(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
+    let paper: &[(&str, f64, f64)] =
+        &[("Bento", 1126.0, 1072.0), ("C-Kernel", 933.0, 881.0), ("FUSE", 24.0, 24.0)];
+    let mut rows = Vec::new();
+    for stack in FsStack::xv6_variants() {
+        for (threads, label, paper_idx) in [(1usize, "1 thread", 1usize), (cfg.threads_high, "32 threads", 2)] {
+            let mounted = mount_stack(stack, cfg.model.clone(), cfg.disk_blocks)?;
+            let result = create_micro(&mounted.vfs, 16 * 1024, threads, cfg.duration)?;
+            let paper_value = paper
+                .iter()
+                .find(|(name, _, _)| *name == stack.label())
+                .map(|(_, one, many)| if paper_idx == 1 { *one } else { *many });
+            rows.push(Row::new("table4", label, stack.label(), result.ops_per_sec(), "ops/sec", paper_value));
+            mounted.unmount()?;
+        }
+    }
+    Ok(rows)
+}
+
+/// Table 5: file deletion ops/sec, 1 and 32 threads.
+///
+/// # Errors
+///
+/// Propagates mount/workload errors.
+pub fn table5_delete(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
+    let paper: &[(&str, f64, f64)] =
+        &[("Bento", 7499.0, 7502.0), ("C-Kernel", 7500.0, 8253.0), ("FUSE", 118.0, 116.0)];
+    let mut rows = Vec::new();
+    for stack in FsStack::xv6_variants() {
+        for (threads, label, first) in [(1usize, "1 thread", true), (cfg.threads_high, "32 threads", false)] {
+            let mounted = mount_stack(stack, cfg.model.clone(), cfg.disk_blocks)?;
+            let per_thread = cfg.delete_per_thread(threads);
+            let result = delete_micro(&mounted.vfs, per_thread, 4096, threads, cfg.duration)?;
+            let paper_value = paper
+                .iter()
+                .find(|(name, _, _)| *name == stack.label())
+                .map(|(_, one, many)| if first { *one } else { *many });
+            rows.push(Row::new("table5", label, stack.label(), result.ops_per_sec(), "ops/sec", paper_value));
+            mounted.unmount()?;
+        }
+    }
+    Ok(rows)
+}
+
+/// Table 6: the varmail and fileserver macrobenchmarks (ops/sec) and the
+/// untar benchmark (seconds), across all four stacks.
+///
+/// # Errors
+///
+/// Propagates mount/workload errors.
+pub fn table6_macrobenchmarks(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
+    let paper_varmail = [("Bento", 320.0), ("C-Kernel", 303.0), ("FUSE", 24.0), ("Ext4", 785.0)];
+    let paper_fileserver = [("Bento", 3860.0), ("C-Kernel", 2947.0), ("FUSE", 7.0), ("Ext4", 5172.0)];
+    let paper_untar = [("Bento", 19.8), ("C-Kernel", 31.6), ("FUSE", 3404.9), ("Ext4", 6.2)];
+    let paper_of = |table: &[(&str, f64)], stack: FsStack| {
+        table.iter().find(|(name, _)| *name == stack.label()).map(|(_, v)| *v)
+    };
+    let mut rows = Vec::new();
+    let macro_duration = cfg.duration.max(Duration::from_millis(300)) * 2;
+    for stack in FsStack::all() {
+        // varmail
+        let mounted = mount_stack(stack, cfg.model.clone(), cfg.disk_blocks)?;
+        let result = varmail(
+            &mounted.vfs,
+            cfg.macro_files_per_thread,
+            8 * 1024,
+            cfg.macro_threads,
+            macro_duration,
+        )?;
+        rows.push(Row::new(
+            "table6",
+            "varmail",
+            stack.label(),
+            result.ops_per_sec(),
+            "ops/sec",
+            paper_of(&paper_varmail, stack),
+        ));
+        mounted.unmount()?;
+
+        // fileserver
+        let mounted = mount_stack(stack, cfg.model.clone(), cfg.disk_blocks)?;
+        let result = fileserver(
+            &mounted.vfs,
+            cfg.macro_files_per_thread,
+            64 * 1024,
+            cfg.macro_threads,
+            macro_duration,
+        )?;
+        rows.push(Row::new(
+            "table6",
+            "fileserver",
+            stack.label(),
+            result.ops_per_sec(),
+            "ops/sec",
+            paper_of(&paper_fileserver, stack),
+        ));
+        mounted.unmount()?;
+
+        // untar (synthetic Linux-like tree; absolute seconds depend on the
+        // scaled-down tree, so the paper column is about relative ordering).
+        let mounted = mount_stack(stack, cfg.model.clone(), cfg.disk_blocks)?;
+        let manifest = generate_linux_like_manifest(cfg.untar_files / 6, cfg.untar_files, 42);
+        let (elapsed, _) = untar(&mounted.vfs, "/", &manifest)?;
+        rows.push(Row::new(
+            "table6",
+            "untar",
+            stack.label(),
+            elapsed.as_secs_f64(),
+            "seconds",
+            paper_of(&paper_untar, stack),
+        ));
+        mounted.unmount()?;
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces_published_percentages() {
+        let rows = table1_bug_analysis();
+        let prevented = rows.iter().find(|r| r.config == "prevented by Rust %").unwrap();
+        assert!((prevented.value - 93.2).abs() < 1.0);
+        assert_eq!(rows.iter().filter(|r| r.unit == "bugs").count(), 15);
+    }
+
+    #[test]
+    fn table2_has_only_bento_with_all_yes() {
+        let table = table2_mechanism_comparison();
+        let all_yes: Vec<&String> = table
+            .iter()
+            .filter(|(_, cells)| cells.iter().all(|c| *c == "yes"))
+            .map(|(name, _)| name)
+            .collect();
+        assert_eq!(all_yes, vec!["Bento"]);
+    }
+}

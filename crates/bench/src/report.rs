@@ -1,0 +1,76 @@
+//! Result rows and rendering.
+
+use serde::Serialize;
+
+/// One measured cell of a table or figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Experiment id, e.g. `"fig2"` or `"table4"`.
+    pub experiment: String,
+    /// Configuration label, e.g. `"seq-1t"` or `"varmail"`.
+    pub config: String,
+    /// File system stack label (`"Bento"`, `"C-Kernel"`, `"FUSE"`, `"Ext4"`).
+    pub stack: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit of the value (`"ops/sec"`, `"MB/s"`, `"seconds"`, ...).
+    pub unit: String,
+    /// The paper's published value for this cell, when the paper states one.
+    pub paper: Option<f64>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(
+        experiment: &str,
+        config: &str,
+        stack: &str,
+        value: f64,
+        unit: &str,
+        paper: Option<f64>,
+    ) -> Self {
+        Row {
+            experiment: experiment.to_string(),
+            config: config.to_string(),
+            stack: stack.to_string(),
+            value,
+            unit: unit.to_string(),
+            paper,
+        }
+    }
+}
+
+/// Prints rows as an aligned text table with a title.
+pub fn print_rows(title: &str, rows: &[Row]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<10} {:<16} {:<10} {:>14} {:<10} {:>12}",
+        "exp", "config", "stack", "measured", "unit", "paper"
+    );
+    for row in rows {
+        let paper = row.paper.map(|p| format!("{p:.1}")).unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<10} {:<16} {:<10} {:>14.1} {:<10} {:>12}",
+            row.experiment, row.config, row.stack, row.value, row.unit, paper
+        );
+    }
+}
+
+/// Serializes rows to pretty JSON (written next to EXPERIMENTS.md by the
+/// binary when `--json <path>` is given).
+pub fn rows_to_json(rows: &[Row]) -> String {
+    serde_json::to_string_pretty(rows).unwrap_or_else(|_| "[]".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_rows() {
+        let rows = vec![Row::new("fig2", "seq-1t", "Bento", 123.0, "ops/sec", Some(150.0))];
+        let json = rows_to_json(&rows);
+        assert!(json.contains("seq-1t"));
+        assert!(json.contains("150"));
+    }
+}

@@ -1,0 +1,443 @@
+//! The buffer cache.
+//!
+//! Linux file systems read and write metadata through the buffer cache:
+//! `sb_bread` returns a locked, reference-counted `buffer_head` for a block,
+//! the file system reads or modifies the attached data, optionally writes it
+//! back, and finally calls `brelse`.  Forgetting `brelse` leaks the buffer —
+//! one of the most common bug classes in the paper's study (Table 1).
+//!
+//! [`BufferCache`] reproduces that interface with Rust ownership:
+//! [`BufferCache::bread`] returns a [`BufferGuard`] that holds the buffer's
+//! lock and releases it (the `brelse`) automatically on drop.  Bento's
+//! `BufferHead` capability type (in the `bento` crate) is a thin wrapper
+//! around this guard, which is exactly the paper's §4.7 "wrapping
+//! abstractions" story.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{ArcMutexGuard, Mutex, RawMutex};
+
+use crate::dev::BlockDevice;
+use crate::error::{Errno, KernelError, KernelResult};
+
+/// Data and state attached to one cached block.
+#[derive(Debug)]
+struct BufferData {
+    bytes: Vec<u8>,
+    /// Whether `bytes` holds the current on-device content (or newer).
+    valid: bool,
+    /// Whether `bytes` has been modified since it was last written to the
+    /// device.
+    dirty: bool,
+}
+
+#[derive(Debug)]
+struct Buffer {
+    data: Arc<Mutex<BufferData>>,
+    last_used: AtomicU64,
+}
+
+/// A block cache with `bread`/`write`/implicit-`brelse` semantics.
+///
+/// The cache holds at most `capacity` buffers; buffers that are neither
+/// locked nor dirty are evicted least-recently-used first when the cache is
+/// full.
+pub struct BufferCache {
+    dev: Arc<dyn BlockDevice>,
+    capacity: usize,
+    block_size: usize,
+    map: Mutex<HashMap<u64, Arc<Buffer>>>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for BufferCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferCache")
+            .field("capacity", &self.capacity)
+            .field("block_size", &self.block_size)
+            .field("cached", &self.map.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Cache effectiveness statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferCacheStats {
+    /// `bread` calls satisfied from the cache.
+    pub hits: u64,
+    /// `bread` calls that had to read the device.
+    pub misses: u64,
+    /// Buffers currently cached.
+    pub cached: usize,
+}
+
+impl BufferCache {
+    /// Creates a buffer cache over `dev` holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(dev: Arc<dyn BlockDevice>, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer cache capacity must be nonzero");
+        let block_size = dev.block_size() as usize;
+        BufferCache {
+            dev,
+            capacity,
+            block_size,
+            map: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying block device.
+    pub fn device(&self) -> &Arc<dyn BlockDevice> {
+        &self.dev
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Reads block `blockno` through the cache and returns a locked guard.
+    ///
+    /// The guard's lock is exclusive (like the kernel's buffer lock); a
+    /// second `bread` of the same block from another thread blocks until the
+    /// first guard is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors ([`Errno::Io`], [`Errno::Inval`]).
+    pub fn bread(&self, blockno: u64) -> KernelResult<BufferGuard> {
+        if blockno >= self.dev.num_blocks() {
+            return Err(KernelError::with_context(Errno::Inval, "bread: block out of range"));
+        }
+        let buf = self.get_or_insert(blockno);
+        let mut guard = Mutex::lock_arc(&buf.data);
+        if !guard.valid {
+            self.dev.read_block(blockno, &mut guard.bytes)?;
+            guard.valid = true;
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(BufferGuard { blockno, guard, dev: Arc::clone(&self.dev) })
+    }
+
+    /// Like [`BufferCache::bread`] but does not read the device: the returned
+    /// buffer is zero-filled and marked valid.  Used for blocks that are
+    /// about to be completely overwritten (log blocks, freshly allocated
+    /// blocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Inval`] if `blockno` is out of range.
+    pub fn getblk_zeroed(&self, blockno: u64) -> KernelResult<BufferGuard> {
+        if blockno >= self.dev.num_blocks() {
+            return Err(KernelError::with_context(Errno::Inval, "getblk: block out of range"));
+        }
+        let buf = self.get_or_insert(blockno);
+        let mut guard = Mutex::lock_arc(&buf.data);
+        guard.bytes.fill(0);
+        guard.valid = true;
+        guard.dirty = true;
+        Ok(BufferGuard { blockno, guard, dev: Arc::clone(&self.dev) })
+    }
+
+    /// Drops every cached buffer that is clean and unlocked.  Used by tests
+    /// and by unmount to simulate a cold cache.
+    pub fn invalidate_clean(&self) {
+        let mut map = self.map.lock();
+        map.retain(|_, buf| {
+            if Arc::strong_count(buf) > 1 {
+                return true;
+            }
+            match buf.data.try_lock() {
+                Some(data) => data.dirty,
+                None => true,
+            }
+        });
+    }
+
+    /// Returns hit/miss statistics.
+    pub fn stats(&self) -> BufferCacheStats {
+        BufferCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            cached: self.map.lock().len(),
+        }
+    }
+
+    /// Issues a FLUSH to the underlying device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn flush_device(&self) -> KernelResult<()> {
+        self.dev.flush()
+    }
+
+    fn get_or_insert(&self, blockno: u64) -> Arc<Buffer> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock();
+        if let Some(buf) = map.get(&blockno) {
+            buf.last_used.store(tick, Ordering::Relaxed);
+            return Arc::clone(buf);
+        }
+        if map.len() >= self.capacity {
+            self.evict_one(&mut map);
+        }
+        let buf = Arc::new(Buffer {
+            data: Arc::new(Mutex::new(BufferData {
+                bytes: vec![0u8; self.block_size],
+                valid: false,
+                dirty: false,
+            })),
+            last_used: AtomicU64::new(tick),
+        });
+        map.insert(blockno, Arc::clone(&buf));
+        buf
+    }
+
+    /// Evicts the least recently used buffer that is unlocked and clean.
+    /// If every buffer is busy the cache is allowed to grow past `capacity`
+    /// (the kernel would sleep; growing keeps the simulation deadlock-free).
+    fn evict_one(&self, map: &mut HashMap<u64, Arc<Buffer>>) {
+        let mut victim: Option<(u64, u64)> = None;
+        for (blockno, buf) in map.iter() {
+            if Arc::strong_count(buf) > 1 {
+                continue;
+            }
+            let clean = match buf.data.try_lock() {
+                Some(data) => !data.dirty,
+                None => false,
+            };
+            if !clean {
+                continue;
+            }
+            let used = buf.last_used.load(Ordering::Relaxed);
+            if victim.map_or(true, |(_, best)| used < best) {
+                victim = Some((*blockno, used));
+            }
+        }
+        if let Some((blockno, _)) = victim {
+            map.remove(&blockno);
+        }
+    }
+}
+
+/// An exclusive, RAII handle to a cached block (the analogue of a locked
+/// `buffer_head`).
+///
+/// Dropping the guard releases the buffer (`brelse`).  Modifications made
+/// through [`BufferGuard::data_mut`] stay in the cache; call
+/// [`BufferGuard::write`] to write the block to the device (`bwrite`).
+pub struct BufferGuard {
+    blockno: u64,
+    guard: ArcMutexGuard<RawMutex, BufferData>,
+    dev: Arc<dyn BlockDevice>,
+}
+
+impl std::fmt::Debug for BufferGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferGuard")
+            .field("blockno", &self.blockno)
+            .field("dirty", &self.guard.dirty)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BufferGuard {
+    /// The block number this guard refers to.
+    pub fn blockno(&self) -> u64 {
+        self.blockno
+    }
+
+    /// Read-only view of the block contents.
+    pub fn data(&self) -> &[u8] {
+        &self.guard.bytes
+    }
+
+    /// Mutable view of the block contents; marks the buffer dirty.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        self.guard.dirty = true;
+        &mut self.guard.bytes
+    }
+
+    /// Whether the cached contents differ from what was last written to the
+    /// device.
+    pub fn is_dirty(&self) -> bool {
+        self.guard.dirty
+    }
+
+    /// Writes the buffer to the device (`bwrite`) and clears the dirty flag.
+    ///
+    /// Durability still requires a device flush; see
+    /// [`BufferCache::flush_device`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn write(&mut self) -> KernelResult<()> {
+        self.dev.write_block(self.blockno, &self.guard.bytes)?;
+        self.guard.dirty = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dev::RamDisk;
+
+    fn cache(blocks: u64, capacity: usize) -> BufferCache {
+        BufferCache::new(Arc::new(RamDisk::new(4096, blocks)), capacity)
+    }
+
+    #[test]
+    fn bread_reads_device_once_then_hits_cache() {
+        let c = cache(32, 8);
+        {
+            let mut b = c.bread(5).unwrap();
+            b.data_mut()[0] = 42;
+            b.write().unwrap();
+        }
+        {
+            let b = c.bread(5).unwrap();
+            assert_eq!(b.data()[0], 42);
+        }
+        let stats = c.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn modifications_persist_in_cache_without_write() {
+        let c = cache(32, 8);
+        {
+            let mut b = c.bread(3).unwrap();
+            b.data_mut()[7] = 99;
+            assert!(b.is_dirty());
+            // no write(): data stays only in the cache
+        }
+        let b = c.bread(3).unwrap();
+        assert_eq!(b.data()[7], 99);
+        // The device itself still has zeros.
+        let mut raw = vec![0u8; 4096];
+        c.device().read_block(3, &mut raw).unwrap();
+        assert_eq!(raw[7], 0);
+    }
+
+    #[test]
+    fn write_makes_data_reach_device() {
+        let c = cache(32, 8);
+        let mut b = c.bread(9).unwrap();
+        b.data_mut()[0] = 0xEE;
+        b.write().unwrap();
+        assert!(!b.is_dirty());
+        drop(b);
+        let mut raw = vec![0u8; 4096];
+        c.device().read_block(9, &mut raw).unwrap();
+        assert_eq!(raw[0], 0xEE);
+    }
+
+    #[test]
+    fn getblk_zeroed_skips_device_read() {
+        let c = cache(32, 8);
+        c.device().write_block(4, &vec![0xFFu8; 4096]).unwrap();
+        let reads_before = c.device().stats().reads;
+        let b = c.getblk_zeroed(4).unwrap();
+        assert!(b.data().iter().all(|&x| x == 0));
+        assert_eq!(c.device().stats().reads, reads_before);
+    }
+
+    #[test]
+    fn eviction_prefers_clean_unlocked_lru() {
+        let c = cache(64, 2);
+        {
+            let mut b0 = c.bread(0).unwrap();
+            b0.data_mut()[0] = 1;
+            b0.write().unwrap();
+        }
+        {
+            let mut b1 = c.bread(1).unwrap();
+            b1.data_mut()[0] = 2;
+            b1.write().unwrap();
+        }
+        // Touch block 1 so block 0 is LRU, then bring in block 2.
+        drop(c.bread(1).unwrap());
+        drop(c.bread(2).unwrap());
+        let stats = c.stats();
+        assert!(stats.cached <= 2, "cache grew past capacity: {}", stats.cached);
+        // Re-reading block 0 must still return correct (device) data.
+        let b0 = c.bread(0).unwrap();
+        assert_eq!(b0.data()[0], 1);
+    }
+
+    #[test]
+    fn dirty_buffers_are_not_evicted() {
+        let c = cache(64, 2);
+        {
+            let mut b0 = c.bread(0).unwrap();
+            b0.data_mut()[0] = 0xAA; // dirty, never written
+        }
+        drop(c.bread(1).unwrap());
+        drop(c.bread(2).unwrap());
+        drop(c.bread(3).unwrap());
+        // Block 0's modification must survive because dirty buffers are pinned.
+        let b0 = c.bread(0).unwrap();
+        assert_eq!(b0.data()[0], 0xAA);
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let c = cache(8, 4);
+        assert_eq!(c.bread(8).unwrap_err().errno(), Errno::Inval);
+        assert_eq!(c.getblk_zeroed(100).unwrap_err().errno(), Errno::Inval);
+    }
+
+    #[test]
+    fn concurrent_breads_serialize_per_block() {
+        use std::thread;
+        let c = Arc::new(cache(16, 16));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || {
+                for _ in 0..100 {
+                    let mut b = c.bread(0).unwrap();
+                    let v = u64::from_le_bytes(b.data()[..8].try_into().unwrap());
+                    let bytes = (v + 1).to_le_bytes();
+                    b.data_mut()[..8].copy_from_slice(&bytes);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let b = c.bread(0).unwrap();
+        let v = u64::from_le_bytes(b.data()[..8].try_into().unwrap());
+        assert_eq!(v, 800, "exclusive buffer lock must make increments atomic");
+    }
+
+    #[test]
+    fn invalidate_clean_forces_reread() {
+        let c = cache(16, 8);
+        {
+            let mut b = c.bread(2).unwrap();
+            b.data_mut()[0] = 5;
+            b.write().unwrap();
+        }
+        c.invalidate_clean();
+        assert_eq!(c.stats().cached, 0);
+        let b = c.bread(2).unwrap();
+        assert_eq!(b.data()[0], 5);
+        assert_eq!(c.stats().misses, 2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Kernel-style error handling.
+//!
+//! The Linux kernel reports errors as negative `errno` values.  The simulated
+//! kernel (and everything layered on top of it: Bento, the file systems, the
+//! FUSE simulation) uses [`Errno`], a strongly typed subset of the errno
+//! space, wrapped in [`KernelError`] so that it satisfies the
+//! [`std::error::Error`] contract expected of Rust error types.
+
+use std::fmt;
+
+/// A strongly typed subset of the Linux `errno` values used by the storage
+/// stack.
+///
+/// The discriminants match the conventional Linux numbers so that code (and
+/// readers) familiar with the kernel can map them directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(i32)]
+#[non_exhaustive]
+pub enum Errno {
+    /// Operation not permitted.
+    Perm = 1,
+    /// No such file or directory.
+    NoEnt = 2,
+    /// I/O error.
+    Io = 5,
+    /// Bad file descriptor.
+    BadF = 9,
+    /// Out of memory / allocation failure.
+    NoMem = 12,
+    /// Permission denied.
+    Access = 13,
+    /// Device or resource busy.
+    Busy = 16,
+    /// File exists.
+    Exist = 17,
+    /// Not a directory.
+    NotDir = 20,
+    /// Is a directory.
+    IsDir = 21,
+    /// Invalid argument.
+    Inval = 22,
+    /// Too many open files.
+    NFile = 23,
+    /// File too large.
+    FBig = 27,
+    /// No space left on device.
+    NoSpc = 28,
+    /// Illegal seek.
+    SPipe = 29,
+    /// Read-only file system.
+    RoFs = 30,
+    /// Too many links.
+    MLink = 31,
+    /// File name too long.
+    NameTooLong = 36,
+    /// Function not implemented.
+    NoSys = 38,
+    /// Directory not empty.
+    NotEmpty = 39,
+    /// Operation would deadlock.
+    Deadlock = 35,
+    /// Stale file handle (used when an inode disappears under an open fd).
+    Stale = 116,
+}
+
+impl Errno {
+    /// Returns the conventional Linux errno number.
+    pub fn code(self) -> i32 {
+        self as i32
+    }
+
+    /// Returns the short symbolic name (`"ENOENT"`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Errno::Perm => "EPERM",
+            Errno::NoEnt => "ENOENT",
+            Errno::Io => "EIO",
+            Errno::BadF => "EBADF",
+            Errno::NoMem => "ENOMEM",
+            Errno::Access => "EACCES",
+            Errno::Busy => "EBUSY",
+            Errno::Exist => "EEXIST",
+            Errno::NotDir => "ENOTDIR",
+            Errno::IsDir => "EISDIR",
+            Errno::Inval => "EINVAL",
+            Errno::NFile => "ENFILE",
+            Errno::FBig => "EFBIG",
+            Errno::NoSpc => "ENOSPC",
+            Errno::SPipe => "ESPIPE",
+            Errno::RoFs => "EROFS",
+            Errno::MLink => "EMLINK",
+            Errno::NameTooLong => "ENAMETOOLONG",
+            Errno::NoSys => "ENOSYS",
+            Errno::NotEmpty => "ENOTEMPTY",
+            Errno::Deadlock => "EDEADLK",
+            Errno::Stale => "ESTALE",
+        }
+    }
+
+    /// Human readable description, in the style of `strerror(3)`.
+    pub fn description(self) -> &'static str {
+        match self {
+            Errno::Perm => "operation not permitted",
+            Errno::NoEnt => "no such file or directory",
+            Errno::Io => "input/output error",
+            Errno::BadF => "bad file descriptor",
+            Errno::NoMem => "cannot allocate memory",
+            Errno::Access => "permission denied",
+            Errno::Busy => "device or resource busy",
+            Errno::Exist => "file exists",
+            Errno::NotDir => "not a directory",
+            Errno::IsDir => "is a directory",
+            Errno::Inval => "invalid argument",
+            Errno::NFile => "too many open files in system",
+            Errno::FBig => "file too large",
+            Errno::NoSpc => "no space left on device",
+            Errno::SPipe => "illegal seek",
+            Errno::RoFs => "read-only file system",
+            Errno::MLink => "too many links",
+            Errno::NameTooLong => "file name too long",
+            Errno::NoSys => "function not implemented",
+            Errno::NotEmpty => "directory not empty",
+            Errno::Deadlock => "resource deadlock avoided",
+            Errno::Stale => "stale file handle",
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.description())
+    }
+}
+
+/// The error type returned by every fallible operation in the simulated
+/// kernel and by the file systems built on top of it.
+///
+/// A `KernelError` carries an [`Errno`] plus an optional static context
+/// string describing which subsystem produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelError {
+    errno: Errno,
+    context: Option<&'static str>,
+}
+
+impl KernelError {
+    /// Creates an error from an errno with no additional context.
+    pub fn new(errno: Errno) -> Self {
+        KernelError { errno, context: None }
+    }
+
+    /// Creates an error from an errno with a static context string.
+    pub fn with_context(errno: Errno, context: &'static str) -> Self {
+        KernelError { errno, context: Some(context) }
+    }
+
+    /// The errno carried by this error.
+    pub fn errno(&self) -> Errno {
+        self.errno
+    }
+
+    /// The context string, if any.
+    pub fn context(&self) -> Option<&'static str> {
+        self.context
+    }
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.context {
+            Some(ctx) => write!(f, "{}: {}", ctx, self.errno),
+            None => write!(f, "{}", self.errno),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<Errno> for KernelError {
+    fn from(errno: Errno) -> Self {
+        KernelError::new(errno)
+    }
+}
+
+/// Result alias used throughout the simulated kernel.
+pub type KernelResult<T> = Result<T, KernelError>;
+
+/// Convenience constructor: `err(Errno::NoEnt)` as a `Result`.
+///
+/// # Errors
+///
+/// Always returns `Err` — this is a helper for early returns.
+pub fn err<T>(errno: Errno) -> KernelResult<T> {
+    Err(KernelError::new(errno))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_codes_match_linux_numbers() {
+        assert_eq!(Errno::NoEnt.code(), 2);
+        assert_eq!(Errno::Io.code(), 5);
+        assert_eq!(Errno::Exist.code(), 17);
+        assert_eq!(Errno::Inval.code(), 22);
+        assert_eq!(Errno::NoSpc.code(), 28);
+        assert_eq!(Errno::NotEmpty.code(), 39);
+    }
+
+    #[test]
+    fn display_includes_name_and_description() {
+        let e = KernelError::with_context(Errno::NoEnt, "lookup");
+        let s = e.to_string();
+        assert!(s.contains("lookup"));
+        assert!(s.contains("ENOENT"));
+        assert!(s.contains("no such file or directory"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        fn takes_err(_: &(dyn std::error::Error + Send + Sync)) {}
+        let e = KernelError::new(Errno::Io);
+        takes_err(&e);
+    }
+
+    #[test]
+    fn from_errno_conversion() {
+        let e: KernelError = Errno::Busy.into();
+        assert_eq!(e.errno(), Errno::Busy);
+        assert_eq!(e.context(), None);
+    }
+
+    #[test]
+    fn err_helper_returns_error() {
+        let r: KernelResult<u32> = err(Errno::NoSpc);
+        assert_eq!(r.unwrap_err().errno(), Errno::NoSpc);
+    }
+
+    #[test]
+    fn errno_ordering_and_hash_derives_usable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Errno::NoEnt);
+        set.insert(Errno::NoEnt);
+        assert_eq!(set.len(), 1);
+        assert!(Errno::Perm < Errno::NoEnt);
+    }
+}

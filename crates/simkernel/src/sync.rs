@@ -1,0 +1,213 @@
+//! Kernel-flavoured synchronization primitives.
+//!
+//! The Bento paper's kernel-services API exposes kernel locks (semaphores,
+//! read/write semaphores) to Rust file systems behind safe wrappers.  In the
+//! simulated kernel these are thin newtypes over `parking_lot` primitives;
+//! the point of keeping distinct types is that `bento::kernel` re-exports
+//! *these* (the "kernel" versions) while `bento::userspace` re-exports the
+//! standard-library equivalents, mirroring the paper's §4.9 "same API in
+//! kernel and userspace" design.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+/// A counting semaphore in the style of the kernel's `struct semaphore`.
+#[derive(Debug)]
+pub struct Semaphore {
+    count: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `count` initial permits.
+    pub fn new(count: u64) -> Self {
+        Semaphore { count: Mutex::new(count), cond: Condvar::new() }
+    }
+
+    /// Acquires one permit, blocking until one is available (`down`).
+    pub fn down(&self) {
+        let mut count = self.count.lock();
+        while *count == 0 {
+            self.cond.wait(&mut count);
+        }
+        *count -= 1;
+    }
+
+    /// Tries to acquire one permit without blocking (`down_trylock`).
+    /// Returns `true` on success.
+    pub fn try_down(&self) -> bool {
+        let mut count = self.count.lock();
+        if *count == 0 {
+            false
+        } else {
+            *count -= 1;
+            true
+        }
+    }
+
+    /// Releases one permit (`up`).
+    pub fn up(&self) {
+        let mut count = self.count.lock();
+        *count += 1;
+        drop(count);
+        self.cond.notify_one();
+    }
+}
+
+/// A mutual exclusion lock in the style of the kernel's sleeping mutex.
+///
+/// This is a newtype over [`parking_lot::Mutex`]; see the module docs for why
+/// it exists as a distinct type.
+#[derive(Debug, Default)]
+pub struct KMutex<T>(Mutex<T>);
+
+impl<T> KMutex<T> {
+    /// Creates a new lock holding `value`.
+    pub fn new(value: T) -> Self {
+        KMutex(Mutex::new(value))
+    }
+
+    /// Locks, blocking until the lock is available.
+    pub fn lock(&self) -> parking_lot::MutexGuard<'_, T> {
+        self.0.lock()
+    }
+
+    /// Attempts the lock without blocking.
+    pub fn try_lock(&self) -> Option<parking_lot::MutexGuard<'_, T>> {
+        self.0.try_lock()
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+/// A read/write lock in the style of the kernel's `rw_semaphore`.
+#[derive(Debug, Default)]
+pub struct KRwLock<T>(RwLock<T>);
+
+impl<T> KRwLock<T> {
+    /// Creates a new lock holding `value`.
+    pub fn new(value: T) -> Self {
+        KRwLock(RwLock::new(value))
+    }
+
+    /// Acquires a shared (read) lock (`down_read`).
+    pub fn read(&self) -> parking_lot::RwLockReadGuard<'_, T> {
+        self.0.read()
+    }
+
+    /// Acquires an exclusive (write) lock (`down_write`).
+    pub fn write(&self) -> parking_lot::RwLockWriteGuard<'_, T> {
+        self.0.write()
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+/// A monotonically increasing id generator (used for file handles, mount
+/// ids, upgrade generations).
+#[derive(Debug)]
+pub struct IdGenerator {
+    next: AtomicU64,
+}
+
+impl IdGenerator {
+    /// Creates a generator whose first id is `first`.
+    pub fn new(first: u64) -> Self {
+        IdGenerator { next: AtomicU64::new(first) }
+    }
+
+    /// Returns the next id.
+    pub fn next_id(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl Default for IdGenerator {
+    fn default() -> Self {
+        IdGenerator::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn semaphore_counts_permits() {
+        let s = Semaphore::new(2);
+        assert!(s.try_down());
+        assert!(s.try_down());
+        assert!(!s.try_down());
+        s.up();
+        assert!(s.try_down());
+    }
+
+    #[test]
+    fn semaphore_blocks_and_wakes() {
+        let s = Arc::new(Semaphore::new(0));
+        let s2 = Arc::clone(&s);
+        let waiter = thread::spawn(move || {
+            s2.down();
+            42u32
+        });
+        thread::sleep(std::time::Duration::from_millis(10));
+        s.up();
+        assert_eq!(waiter.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn kmutex_provides_exclusion() {
+        let m = Arc::new(KMutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                for _ in 0..1000 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn krwlock_allows_concurrent_readers() {
+        let l = KRwLock::new(5u32);
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!(*r1 + *r2, 10);
+        drop((r1, r2));
+        *l.write() = 6;
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn id_generator_is_unique_across_threads() {
+        use std::collections::HashSet;
+        let g = Arc::new(IdGenerator::new(1));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let g = Arc::clone(&g);
+            handles.push(thread::spawn(move || (0..256).map(|_| g.next_id()).collect::<Vec<_>>()));
+        }
+        let mut all = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(all.insert(id), "duplicate id {id}");
+            }
+        }
+        assert_eq!(all.len(), 4 * 256);
+    }
+}

@@ -1,0 +1,29 @@
+//! # workloads — filebench-style workload generators
+//!
+//! The paper's evaluation (§6.4) drives every file system with filebench:
+//! single-threaded and 32-threaded read / write / file-creation /
+//! file-deletion microbenchmarks, the `varmail` and `fileserver`
+//! macrobenchmarks, plus untarring the Linux kernel source tree.  filebench
+//! itself is not available here, so this crate reimplements the used
+//! personalities as multi-threaded generators that drive a
+//! [`Vfs`](simkernel::vfs::Vfs) — any of the four stacks (Bento xv6, VFS
+//! xv6, FUSE xv6, ext4sim) mounted on the simulated NVMe device.
+//!
+//! [`stacks`] contains the helpers that build each mounted stack;
+//! [`runner`] contains the generators and the [`WorkloadResult`] they
+//! produce (operations/second or MB/s, matching the units in the paper's
+//! figures and tables).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod stacks;
+pub mod untar;
+
+pub use runner::{
+    create_micro, delete_micro, fileserver, read_micro, varmail, write_micro, AccessPattern,
+    WorkloadResult,
+};
+pub use stacks::{mount_stack, FsStack, MountedStack};
+pub use untar::{generate_linux_like_manifest, untar, UntarManifest};

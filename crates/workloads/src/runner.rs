@@ -1,0 +1,488 @@
+//! The filebench personalities used in the paper's evaluation, reimplemented
+//! as multi-threaded generators over the simulated VFS.
+//!
+//! Sizes and file counts are scaled down from the filebench defaults so a
+//! full sweep completes in minutes on one machine; the op *mixes* match the
+//! personalities (EXPERIMENTS.md records the scaling).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use simkernel::error::{Errno, KernelResult};
+use simkernel::vfs::{OpenFlags, Vfs};
+
+/// Sequential or uniformly random access offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Offsets advance linearly, wrapping at end of file.
+    Sequential,
+    /// Offsets are uniformly random, aligned to the I/O size.
+    Random,
+}
+
+impl AccessPattern {
+    /// Short label used in figure rows ("seq" / "rnd").
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessPattern::Sequential => "seq",
+            AccessPattern::Random => "rnd",
+        }
+    }
+}
+
+/// The outcome of one workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Workload name (e.g. `"read-4k-rnd"`).
+    pub name: String,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Operations completed.
+    pub operations: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Measured wall-clock duration.
+    pub elapsed: Duration,
+}
+
+impl WorkloadResult {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.operations as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Payload throughput in MB/s (10^6 bytes, as filebench reports).
+    pub fn throughput_mbps(&self) -> f64 {
+        self.bytes as f64 / 1_000_000.0 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs `body` on `threads` threads until `duration` elapses; `body`
+/// receives the thread index and a per-thread RNG and returns
+/// (operations, bytes) for one iteration.
+fn run_timed<F>(name: &str, threads: usize, duration: Duration, body: F) -> KernelResult<WorkloadResult>
+where
+    F: Fn(usize, &mut SmallRng, u64) -> KernelResult<(u64, u64)> + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    let total_ops = Arc::new(AtomicU64::new(0));
+    let total_bytes = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let deadline = start + duration;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let body = Arc::clone(&body);
+        let total_ops = Arc::clone(&total_ops);
+        let total_bytes = Arc::clone(&total_bytes);
+        handles.push(std::thread::spawn(move || -> KernelResult<()> {
+            let mut rng = SmallRng::seed_from_u64(0x5eed_0000 + t as u64);
+            let mut iteration = 0u64;
+            while Instant::now() < deadline {
+                let (ops, bytes) = body(t, &mut rng, iteration)?;
+                if ops == 0 && bytes == 0 {
+                    break; // workload exhausted (e.g. nothing left to delete)
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+                total_bytes.fetch_add(bytes, Ordering::Relaxed);
+                iteration += 1;
+            }
+            Ok(())
+        }));
+    }
+    for handle in handles {
+        handle.join().map_err(|_| simkernel::error::KernelError::with_context(Errno::Io, "worker panicked"))??;
+    }
+    Ok(WorkloadResult {
+        name: name.to_string(),
+        threads,
+        operations: total_ops.load(Ordering::Relaxed),
+        bytes: total_bytes.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+    })
+}
+
+fn write_fully(vfs: &Vfs, fd: u64, total: u64, chunk: usize) -> KernelResult<u64> {
+    let data = vec![0xA5u8; chunk];
+    let mut written = 0u64;
+    while written < total {
+        let n = ((total - written) as usize).min(chunk);
+        vfs.write(fd, &data[..n])?;
+        written += n as u64;
+    }
+    Ok(written)
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks (Figures 2-4, Tables 4-5)
+// ---------------------------------------------------------------------------
+
+/// The filebench read microbenchmark: `threads` readers issue `io_size`
+/// reads (sequential or random) against one `file_size`-byte file for
+/// `duration`.  The file is created and warmed into the page cache first,
+/// as in the paper (§6.5.1: all three stacks serve reads from the same
+/// in-kernel cache).
+///
+/// # Errors
+///
+/// Propagates file system errors.
+pub fn read_micro(
+    vfs: &Arc<Vfs>,
+    file_size: u64,
+    io_size: usize,
+    pattern: AccessPattern,
+    threads: usize,
+    duration: Duration,
+) -> KernelResult<WorkloadResult> {
+    let path = "/readfile.bin";
+    let fd = vfs.open(path, OpenFlags::RDWR.with(OpenFlags::CREAT))?;
+    write_fully(vfs, fd, file_size, 1 << 20)?;
+    vfs.fsync(fd)?;
+    vfs.close(fd)?;
+    // Warm the page cache.
+    let fd = vfs.open(path, OpenFlags::RDONLY)?;
+    let mut warm = vec![0u8; 1 << 20];
+    let mut off = 0u64;
+    while off < file_size {
+        let n = vfs.pread(fd, &mut warm, off)?;
+        if n == 0 {
+            break;
+        }
+        off += n as u64;
+    }
+    vfs.close(fd)?;
+
+    let vfs = Arc::clone(vfs);
+    let name = format!("read-{}k-{}", io_size / 1024, pattern.label());
+    let fds: Vec<u64> = (0..threads).map(|_| vfs.open(path, OpenFlags::RDONLY)).collect::<KernelResult<_>>()?;
+    let fds = Arc::new(fds);
+    let span = file_size.saturating_sub(io_size as u64).max(1);
+    let result = {
+        let vfs = Arc::clone(&vfs);
+        let fds = Arc::clone(&fds);
+        run_timed(&name, threads, duration, move |t, rng, iteration| {
+            let mut buf = vec![0u8; io_size];
+            let offset = match pattern {
+                AccessPattern::Sequential => (iteration * io_size as u64) % span,
+                AccessPattern::Random => rng.gen_range(0..span) / io_size as u64 * io_size as u64,
+            };
+            let n = vfs.pread(fds[t], &mut buf, offset)?;
+            Ok((1, n as u64))
+        })?
+    };
+    for fd in fds.iter() {
+        vfs.close(*fd)?;
+    }
+    vfs.unlink(path)?;
+    Ok(result)
+}
+
+/// The filebench write microbenchmark: `threads` writers issue `io_size`
+/// writes (sequential or random) into a preallocated `file_size`-byte file.
+///
+/// # Errors
+///
+/// Propagates file system errors.
+pub fn write_micro(
+    vfs: &Arc<Vfs>,
+    file_size: u64,
+    io_size: usize,
+    pattern: AccessPattern,
+    threads: usize,
+    duration: Duration,
+) -> KernelResult<WorkloadResult> {
+    let path = "/writefile.bin";
+    let fd = vfs.open(path, OpenFlags::RDWR.with(OpenFlags::CREAT))?;
+    write_fully(vfs, fd, file_size, 1 << 20)?;
+    vfs.fsync(fd)?;
+    vfs.close(fd)?;
+
+    let name = format!("write-{}k-{}", io_size / 1024, pattern.label());
+    let fds: Vec<u64> = (0..threads)
+        .map(|_| vfs.open(path, OpenFlags::WRONLY))
+        .collect::<KernelResult<_>>()?;
+    let fds = Arc::new(fds);
+    let span = file_size.saturating_sub(io_size as u64).max(1);
+    let result = {
+        let vfs = Arc::clone(vfs);
+        let fds = Arc::clone(&fds);
+        run_timed(&name, threads, duration, move |t, rng, iteration| {
+            let data = vec![0x3Cu8; io_size];
+            let offset = match pattern {
+                AccessPattern::Sequential => (iteration * io_size as u64) % span,
+                AccessPattern::Random => rng.gen_range(0..span) / io_size as u64 * io_size as u64,
+            };
+            let n = vfs.pwrite(fds[t], &data, offset)?;
+            Ok((1, n as u64))
+        })?
+    };
+    for fd in fds.iter() {
+        vfs.close(*fd)?;
+    }
+    vfs.unlink(path)?;
+    Ok(result)
+}
+
+/// The filebench `createfiles` microbenchmark: each thread repeatedly
+/// creates a new file in its own directory, writes `file_size` bytes, and
+/// closes it.
+///
+/// # Errors
+///
+/// Propagates file system errors.
+pub fn create_micro(
+    vfs: &Arc<Vfs>,
+    file_size: usize,
+    threads: usize,
+    duration: Duration,
+) -> KernelResult<WorkloadResult> {
+    for t in 0..threads {
+        vfs.mkdir(&format!("/create-{t}"))?;
+    }
+    let vfs2 = Arc::clone(vfs);
+    run_timed("createfiles", threads, duration, move |t, _rng, iteration| {
+        let path = format!("/create-{t}/f{iteration}");
+        let fd = vfs2.open(&path, OpenFlags::WRONLY.with(OpenFlags::CREAT))?;
+        let written = write_fully(&vfs2, fd, file_size as u64, file_size.max(1))?;
+        vfs2.close(fd)?;
+        Ok((1, written))
+    })
+}
+
+/// The filebench `deletefiles` microbenchmark: `precreated` files per thread
+/// are created beforehand; the measured phase deletes them.
+///
+/// # Errors
+///
+/// Propagates file system errors.
+pub fn delete_micro(
+    vfs: &Arc<Vfs>,
+    precreated: usize,
+    file_size: usize,
+    threads: usize,
+    duration: Duration,
+) -> KernelResult<WorkloadResult> {
+    for t in 0..threads {
+        let dir = format!("/delete-{t}");
+        vfs.mkdir(&dir)?;
+        for i in 0..precreated {
+            let fd = vfs.open(&format!("{dir}/f{i}"), OpenFlags::WRONLY.with(OpenFlags::CREAT))?;
+            write_fully(vfs, fd, file_size as u64, file_size.max(1))?;
+            vfs.close(fd)?;
+        }
+    }
+    vfs.sync()?;
+    let vfs2 = Arc::clone(vfs);
+    run_timed("deletefiles", threads, duration, move |t, _rng, iteration| {
+        if iteration as usize >= precreated {
+            return Ok((0, 0));
+        }
+        vfs2.unlink(&format!("/delete-{t}/f{iteration}"))?;
+        Ok((1, 0))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Macrobenchmarks (Table 6)
+// ---------------------------------------------------------------------------
+
+/// The filebench `varmail` personality (mail server): delete / create+write+
+/// fsync / append+fsync / read, over a pool of small files.  Reported
+/// operations count individual flowops, as filebench does.
+///
+/// # Errors
+///
+/// Propagates file system errors.
+pub fn varmail(
+    vfs: &Arc<Vfs>,
+    files_per_thread: usize,
+    mean_file_size: usize,
+    threads: usize,
+    duration: Duration,
+) -> KernelResult<WorkloadResult> {
+    for t in 0..threads {
+        let dir = format!("/varmail-{t}");
+        vfs.mkdir(&dir)?;
+        for i in 0..files_per_thread {
+            let fd = vfs.open(&format!("{dir}/m{i}"), OpenFlags::WRONLY.with(OpenFlags::CREAT))?;
+            write_fully(vfs, fd, mean_file_size as u64, mean_file_size)?;
+            vfs.close(fd)?;
+        }
+    }
+    vfs.sync()?;
+    let vfs2 = Arc::clone(vfs);
+    run_timed("varmail", threads, duration, move |t, rng, iteration| {
+        let dir = format!("/varmail-{t}");
+        let victim = rng.gen_range(0..files_per_thread);
+        let mut ops = 0u64;
+        let mut bytes = 0u64;
+        // 1. delete an existing mail file (ignore if already deleted).
+        match vfs2.unlink(&format!("{dir}/m{victim}")) {
+            Ok(()) => ops += 1,
+            Err(e) if e.errno() == Errno::NoEnt => {}
+            Err(e) => return Err(e),
+        }
+        // 2. create a new mail file, write it, fsync, close.
+        let new_path = format!("{dir}/new-{iteration}");
+        let fd = vfs2.open(&new_path, OpenFlags::WRONLY.with(OpenFlags::CREAT))?;
+        bytes += write_fully(&vfs2, fd, mean_file_size as u64, mean_file_size)?;
+        vfs2.fsync(fd)?;
+        vfs2.close(fd)?;
+        ops += 4;
+        // 3. append to another mail file with fsync.
+        let target = format!("{dir}/new-{}", rng.gen_range(0..=iteration));
+        if let Ok(fd) = vfs2.open(&target, OpenFlags::WRONLY.with(OpenFlags::APPEND)) {
+            bytes += write_fully(&vfs2, fd, (mean_file_size / 2) as u64, mean_file_size / 2)?;
+            vfs2.fsync(fd)?;
+            vfs2.close(fd)?;
+            ops += 4;
+        }
+        // 4. read a whole mail file.
+        if let Ok(fd) = vfs2.open(&target, OpenFlags::RDONLY) {
+            let mut buf = vec![0u8; mean_file_size * 2];
+            let n = vfs2.pread(fd, &mut buf, 0)?;
+            vfs2.close(fd)?;
+            bytes += n as u64;
+            ops += 3;
+        }
+        Ok((ops, bytes))
+    })
+}
+
+/// The filebench `fileserver` personality: create+write whole files, append,
+/// whole-file reads, deletes and stats over a growing pool.
+///
+/// # Errors
+///
+/// Propagates file system errors.
+pub fn fileserver(
+    vfs: &Arc<Vfs>,
+    files_per_thread: usize,
+    mean_file_size: usize,
+    threads: usize,
+    duration: Duration,
+) -> KernelResult<WorkloadResult> {
+    for t in 0..threads {
+        let dir = format!("/fileserver-{t}");
+        vfs.mkdir(&dir)?;
+        for i in 0..files_per_thread {
+            let fd = vfs.open(&format!("{dir}/f{i}"), OpenFlags::WRONLY.with(OpenFlags::CREAT))?;
+            write_fully(vfs, fd, mean_file_size as u64, 64 * 1024)?;
+            vfs.close(fd)?;
+        }
+    }
+    vfs.sync()?;
+    let vfs2 = Arc::clone(vfs);
+    run_timed("fileserver", threads, duration, move |t, rng, iteration| {
+        let dir = format!("/fileserver-{t}");
+        let mut ops = 0u64;
+        let mut bytes = 0u64;
+        // create + write a whole new file + close
+        let new_path = format!("{dir}/new-{iteration}");
+        let fd = vfs2.open(&new_path, OpenFlags::WRONLY.with(OpenFlags::CREAT))?;
+        bytes += write_fully(&vfs2, fd, mean_file_size as u64, 64 * 1024)?;
+        vfs2.close(fd)?;
+        ops += 3;
+        // append to an existing file
+        let existing = format!("{dir}/f{}", rng.gen_range(0..files_per_thread));
+        if let Ok(fd) = vfs2.open(&existing, OpenFlags::WRONLY.with(OpenFlags::APPEND)) {
+            bytes += write_fully(&vfs2, fd, 16 * 1024, 16 * 1024)?;
+            vfs2.close(fd)?;
+            ops += 3;
+        }
+        // whole-file read
+        if let Ok(fd) = vfs2.open(&existing, OpenFlags::RDONLY) {
+            let mut buf = vec![0u8; 64 * 1024];
+            let mut off = 0u64;
+            loop {
+                let n = vfs2.pread(fd, &mut buf, off)?;
+                if n == 0 {
+                    break;
+                }
+                off += n as u64;
+                bytes += n as u64;
+            }
+            vfs2.close(fd)?;
+            ops += 3;
+        }
+        // delete a previously created file
+        if iteration > 0 {
+            let old = format!("{dir}/new-{}", rng.gen_range(0..iteration));
+            match vfs2.unlink(&old) {
+                Ok(()) => ops += 1,
+                Err(e) if e.errno() == Errno::NoEnt => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // stat
+        let _ = vfs2.stat(&existing);
+        ops += 1;
+        Ok((ops, bytes))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkernel::dev::RamDisk;
+    use simkernel::memfs::MemFilesystemType;
+    use simkernel::vfs::{MountOptions, VfsConfig};
+
+    fn memfs_vfs() -> Arc<Vfs> {
+        let vfs = Arc::new(Vfs::new(VfsConfig::default()));
+        vfs.register_filesystem(Arc::new(MemFilesystemType)).unwrap();
+        vfs.mount("memfs", Arc::new(RamDisk::new(4096, 16)), "/", &MountOptions::default()).unwrap();
+        vfs
+    }
+
+    #[test]
+    fn read_micro_reports_ops_and_bytes() {
+        let vfs = memfs_vfs();
+        let result = read_micro(
+            &vfs,
+            1 << 20,
+            4096,
+            AccessPattern::Random,
+            2,
+            Duration::from_millis(50),
+        )
+        .unwrap();
+        assert!(result.operations > 0);
+        assert_eq!(result.bytes, result.operations * 4096);
+        assert!(result.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn write_micro_sequential_and_random() {
+        let vfs = memfs_vfs();
+        for pattern in [AccessPattern::Sequential, AccessPattern::Random] {
+            let result =
+                write_micro(&vfs, 1 << 20, 32 * 1024, pattern, 2, Duration::from_millis(50)).unwrap();
+            assert!(result.operations > 0, "{pattern:?}");
+            assert!(result.throughput_mbps() > 0.0);
+        }
+    }
+
+    #[test]
+    fn create_and_delete_micro() {
+        let vfs = memfs_vfs();
+        let created = create_micro(&vfs, 4096, 2, Duration::from_millis(50)).unwrap();
+        assert!(created.operations > 0);
+        let deleted = delete_micro(&vfs, 50, 1024, 2, Duration::from_millis(100)).unwrap();
+        assert!(deleted.operations > 0);
+        assert!(deleted.operations <= 100, "cannot delete more than precreated");
+    }
+
+    #[test]
+    fn varmail_and_fileserver_run() {
+        let vfs = memfs_vfs();
+        let vm = varmail(&vfs, 20, 4096, 2, Duration::from_millis(60)).unwrap();
+        assert!(vm.operations > 0);
+        let fsrv = fileserver(&vfs, 10, 16 * 1024, 2, Duration::from_millis(60)).unwrap();
+        assert!(fsrv.operations > 0);
+        assert!(fsrv.bytes > 0);
+    }
+}

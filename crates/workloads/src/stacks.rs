@@ -1,0 +1,145 @@
+//! Building the four file system stacks the paper compares.
+//!
+//! Each stack is mounted on a RAM-backed, latency-modelled NVMe device
+//! ([`SsdDevice`]) so that all four see identical storage behaviour; the
+//! FUSE stack additionally receives the boundary-crossing / whole-file-fsync
+//! model (§6.4).
+
+use std::sync::Arc;
+
+use simkernel::cost::CostModel;
+use simkernel::dev::{BlockDevice, SsdDevice};
+use simkernel::error::KernelResult;
+use simkernel::vfs::{MountOptions, Vfs, VfsConfig};
+
+use ext4sim::Ext4FilesystemType;
+use fusesim::FuseXv6FilesystemType;
+use xv6fs_vfs::Xv6VfsFilesystemType;
+
+/// The four evaluated file system stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsStack {
+    /// xv6 in Rust on Bento, in the (simulated) kernel.
+    BentoXv6,
+    /// xv6 directly against the VFS layer (the paper's C baseline).
+    VfsXv6,
+    /// xv6 in Rust in userspace behind FUSE.
+    FuseXv6,
+    /// The ext4-like comparator (`data=journal`).
+    Ext4,
+}
+
+impl FsStack {
+    /// All four stacks, in the order the paper's tables list them.
+    pub fn all() -> [FsStack; 4] {
+        [FsStack::BentoXv6, FsStack::VfsXv6, FsStack::FuseXv6, FsStack::Ext4]
+    }
+
+    /// The three xv6 variants (Figures 2–4, Tables 4–5).
+    pub fn xv6_variants() -> [FsStack; 3] {
+        [FsStack::BentoXv6, FsStack::VfsXv6, FsStack::FuseXv6]
+    }
+
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            FsStack::BentoXv6 => "Bento",
+            FsStack::VfsXv6 => "C-Kernel",
+            FsStack::FuseXv6 => "FUSE",
+            FsStack::Ext4 => "Ext4",
+        }
+    }
+}
+
+/// A mounted stack: the VFS to issue syscalls against plus bookkeeping.
+pub struct MountedStack {
+    /// The kernel VFS; workloads issue syscalls against this.
+    pub vfs: Arc<Vfs>,
+    /// Which stack this is.
+    pub stack: FsStack,
+    /// The latency-modelled device underneath.
+    pub device: Arc<SsdDevice>,
+}
+
+impl std::fmt::Debug for MountedStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MountedStack").field("stack", &self.stack).finish_non_exhaustive()
+    }
+}
+
+impl MountedStack {
+    /// Unmounts the stack (writes back all dirty state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unmount errors.
+    pub fn unmount(&self) -> KernelResult<()> {
+        self.vfs.unmount("/")
+    }
+}
+
+/// Mounts `stack` at `/` of a fresh VFS over a RAM-backed SSD of
+/// `disk_blocks` 4 KiB blocks with the given latency model.
+///
+/// # Errors
+///
+/// Propagates mkfs/mount errors.
+pub fn mount_stack(stack: FsStack, model: CostModel, disk_blocks: u64) -> KernelResult<MountedStack> {
+    let device = Arc::new(SsdDevice::ram_backed(disk_blocks, model.clone()));
+    let device_dyn: Arc<dyn BlockDevice> = Arc::clone(&device) as Arc<dyn BlockDevice>;
+    let vfs = Arc::new(Vfs::new(VfsConfig::default()));
+    match stack {
+        FsStack::BentoXv6 => {
+            xv6fs::mkfs::mkfs_on_device(&device_dyn, 8192)?;
+            vfs.register_filesystem(Arc::new(xv6fs::fstype()))?;
+            vfs.mount(xv6fs::BENTO_XV6_NAME, device_dyn, "/", &MountOptions::default())?;
+        }
+        FsStack::VfsXv6 => {
+            xv6fs::mkfs::mkfs_on_device(&device_dyn, 8192)?;
+            vfs.register_filesystem(Arc::new(Xv6VfsFilesystemType))?;
+            vfs.mount(xv6fs_vfs::VFS_XV6_NAME, device_dyn, "/", &MountOptions::default())?;
+        }
+        FsStack::FuseXv6 => {
+            xv6fs::mkfs::mkfs_on_device(&device_dyn, 8192)?;
+            vfs.register_filesystem(Arc::new(FuseXv6FilesystemType::with_model(model, 8)))?;
+            vfs.mount("xv6fs_fuse", device_dyn, "/", &MountOptions::default())?;
+        }
+        FsStack::Ext4 => {
+            vfs.register_filesystem(Arc::new(Ext4FilesystemType))?;
+            vfs.mount(ext4sim::EXT4_NAME, device_dyn, "/", &MountOptions::default())?;
+        }
+    }
+    Ok(MountedStack { vfs, stack, device })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkernel::vfs::OpenFlags;
+
+    #[test]
+    fn every_stack_mounts_and_does_basic_io() {
+        for stack in FsStack::all() {
+            let mounted = mount_stack(stack, CostModel::zero(), 16_384)
+                .unwrap_or_else(|e| panic!("mount {stack:?}: {e}"));
+            let vfs = &mounted.vfs;
+            vfs.mkdir("/d").unwrap();
+            let fd = vfs.open("/d/file", OpenFlags::RDWR.with(OpenFlags::CREAT)).unwrap();
+            vfs.write(fd, b"stack smoke test").unwrap();
+            vfs.fsync(fd).unwrap();
+            vfs.close(fd).unwrap();
+            assert_eq!(vfs.stat("/d/file").unwrap().size, 16, "stack {stack:?}");
+            mounted.unmount().unwrap_or_else(|e| panic!("unmount {stack:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(FsStack::BentoXv6.label(), "Bento");
+        assert_eq!(FsStack::VfsXv6.label(), "C-Kernel");
+        assert_eq!(FsStack::FuseXv6.label(), "FUSE");
+        assert_eq!(FsStack::Ext4.label(), "Ext4");
+        assert_eq!(FsStack::all().len(), 4);
+        assert_eq!(FsStack::xv6_variants().len(), 3);
+    }
+}

@@ -1,0 +1,383 @@
+//! The xv6 write-ahead log.
+//!
+//! Every operation that modifies the file system wraps its block writes in a
+//! transaction: [`Log::begin_op`] … modify blocks via [`Log::log_write`] …
+//! [`Log::end_op`].  When the last outstanding operation of a group ends,
+//! the log commits:
+//!
+//! 1. copy each modified block (still sitting dirty in the buffer cache)
+//!    into the on-disk log area,
+//! 2. write the log header naming the blocks (the commit record) and issue a
+//!    barrier ([`SuperBlock::sync_all`]),
+//! 3. install the blocks to their home locations,
+//! 4. clear the header and issue a second barrier.
+//!
+//! On the kernel providers the barriers are device FLUSHes; on the
+//! userspace (FUSE) provider each barrier is an fsync of the whole backing
+//! disk file — which is exactly the cost asymmetry behind the paper's
+//! FUSE-vs-kernel gap (§6.4).
+//!
+//! [`Log::recover`] replays a committed-but-not-installed transaction after
+//! a crash, giving the usual xv6 crash-consistency guarantee.
+
+use parking_lot::{Condvar, Mutex};
+
+use bento::bentoks::SuperBlock;
+use simkernel::error::{Errno, KernelError, KernelResult};
+
+use crate::layout::{get_u32, put_u32, DiskSuperblock, BSIZE, LOGSIZE, MAXOPBLOCKS};
+
+#[derive(Debug, Default)]
+struct LogInner {
+    /// Block numbers (home addresses) participating in the current
+    /// transaction.
+    blocks: Vec<u64>,
+    /// Operations currently inside begin_op/end_op.
+    outstanding: u32,
+    /// Whether a commit is in progress.
+    committing: bool,
+}
+
+/// Cumulative log statistics (exposed for experiments and upgrade
+/// state-transfer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogStats {
+    /// Number of committed transactions.
+    pub commits: u64,
+    /// Total blocks written through the log (logged + installed).
+    pub blocks_logged: u64,
+    /// Transactions recovered at mount time.
+    pub recoveries: u64,
+}
+
+/// The write-ahead log of one mounted xv6 file system.
+#[derive(Debug)]
+pub struct Log {
+    start: u64,
+    size: usize,
+    inner: Mutex<LogInner>,
+    cond: Condvar,
+    stats: Mutex<LogStats>,
+}
+
+impl Log {
+    /// Creates the in-memory log state for a file system whose on-disk
+    /// superblock is `sb`.
+    pub fn new(sb: &DiskSuperblock) -> Self {
+        Log {
+            start: sb.logstart as u64,
+            size: (sb.nlog as usize).min(LOGSIZE),
+            inner: Mutex::new(LogInner::default()),
+            cond: Condvar::new(),
+            stats: Mutex::new(LogStats::default()),
+        }
+    }
+
+    /// Returns cumulative statistics.
+    pub fn stats(&self) -> LogStats {
+        *self.stats.lock()
+    }
+
+    /// Overrides statistics (used when restoring state across an online
+    /// upgrade).
+    pub fn restore_stats(&self, stats: LogStats) {
+        *self.stats.lock() = stats;
+    }
+
+    /// Begins a file-system operation that will modify at most
+    /// [`MAXOPBLOCKS`] blocks.  Blocks while the log is committing or too
+    /// full to accept another operation.
+    pub fn begin_op(&self) {
+        let mut inner = self.inner.lock();
+        loop {
+            let would_use = inner.blocks.len() + (inner.outstanding as usize + 1) * MAXOPBLOCKS;
+            if inner.committing || would_use > self.size - 1 {
+                self.cond.wait(&mut inner);
+            } else {
+                inner.outstanding += 1;
+                return;
+            }
+        }
+    }
+
+    /// Records that `blockno` was modified by the current operation.  The
+    /// caller must have modified the block through the buffer cache (so the
+    /// new contents are pinned there until commit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::NoSpc`] if the transaction would exceed the log
+    /// size (indicates a missing `begin_op`/chunking bug in the caller).
+    pub fn log_write(&self, blockno: u64) -> KernelResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.outstanding == 0 {
+            return Err(KernelError::with_context(Errno::Inval, "xv6fs: log_write outside transaction"));
+        }
+        if inner.blocks.len() >= self.size - 1 {
+            return Err(KernelError::with_context(Errno::NoSpc, "xv6fs: transaction too large for log"));
+        }
+        // Absorption: a block modified twice in one transaction is logged once.
+        if !inner.blocks.contains(&blockno) {
+            inner.blocks.push(blockno);
+        }
+        Ok(())
+    }
+
+    /// Ends the current operation.  If it was the last outstanding
+    /// operation, the accumulated transaction commits (synchronously, on
+    /// this thread).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the commit.
+    pub fn end_op(&self, sb: &SuperBlock) -> KernelResult<()> {
+        let to_commit: Option<Vec<u64>> = {
+            let mut inner = self.inner.lock();
+            inner.outstanding -= 1;
+            debug_assert!(!inner.committing, "commit runs with outstanding == 0");
+            if inner.outstanding == 0 && !inner.blocks.is_empty() {
+                inner.committing = true;
+                Some(std::mem::take(&mut inner.blocks))
+            } else {
+                if inner.outstanding == 0 {
+                    // Nothing to commit; wake any waiters.
+                    self.cond.notify_all();
+                }
+                None
+            }
+        };
+        if let Some(blocks) = to_commit {
+            let result = self.commit(sb, &blocks);
+            let mut inner = self.inner.lock();
+            inner.committing = false;
+            self.cond.notify_all();
+            result?;
+        }
+        Ok(())
+    }
+
+    /// Commits `blocks`: log, barrier, install, clear, barrier.
+    fn commit(&self, sb: &SuperBlock, blocks: &[u64]) -> KernelResult<()> {
+        debug_assert!(blocks.len() <= self.size - 1);
+        // 1. Copy modified blocks from the buffer cache into the log area.
+        for (i, &home) in blocks.iter().enumerate() {
+            let src = sb.bread(home)?;
+            let mut dst = sb.bread_zeroed(self.start + 1 + i as u64)?;
+            dst.data_mut().copy_from_slice(src.data());
+            dst.write()?;
+        }
+        // 2. Commit record.
+        self.write_head(sb, blocks)?;
+        sb.sync_all()?;
+        // 3. Install to home locations (contents are current in the cache).
+        for &home in blocks {
+            let mut buf = sb.bread(home)?;
+            buf.write()?;
+        }
+        // 4. Clear the header.
+        self.write_head(sb, &[])?;
+        sb.sync_all()?;
+        let mut stats = self.stats.lock();
+        stats.commits += 1;
+        stats.blocks_logged += blocks.len() as u64;
+        Ok(())
+    }
+
+    fn write_head(&self, sb: &SuperBlock, blocks: &[u64]) -> KernelResult<()> {
+        let mut head = sb.bread(self.start)?;
+        let data = head.data_mut();
+        put_u32(data, 0, blocks.len() as u32);
+        for (i, &b) in blocks.iter().enumerate() {
+            put_u32(data, 4 + i * 4, b as u32);
+        }
+        head.write()?;
+        Ok(())
+    }
+
+    /// Recovers from the on-disk log at mount time: if a committed
+    /// transaction is present, its blocks are installed and the log is
+    /// cleared.  Returns the number of blocks replayed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn recover(&self, sb: &SuperBlock) -> KernelResult<usize> {
+        let head = sb.bread(self.start)?;
+        let n = get_u32(head.data(), 0) as usize;
+        if n == 0 || n > self.size - 1 {
+            return Ok(0);
+        }
+        let mut homes = Vec::with_capacity(n);
+        for i in 0..n {
+            homes.push(get_u32(head.data(), 4 + i * 4) as u64);
+        }
+        drop(head);
+        for (i, &home) in homes.iter().enumerate() {
+            let log_block = sb.bread(self.start + 1 + i as u64)?;
+            let mut dst = sb.bread(home)?;
+            let mut copy = [0u8; BSIZE];
+            copy.copy_from_slice(log_block.data());
+            dst.data_mut().copy_from_slice(&copy);
+            dst.write()?;
+        }
+        self.write_head(sb, &[])?;
+        sb.sync_all()?;
+        let mut stats = self.stats.lock();
+        stats.recoveries += 1;
+        stats.blocks_logged += n as u64;
+        Ok(n)
+    }
+
+    /// Maximum number of data blocks a single operation may safely modify
+    /// (callers chunk larger writes).
+    pub fn max_op_blocks() -> usize {
+        MAXOPBLOCKS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bento::bentoks::{KernelBlockIo, SuperBlock};
+    use simkernel::dev::RamDisk;
+    use std::sync::Arc;
+
+    fn setup() -> (SuperBlock, Log) {
+        let dev = Arc::new(RamDisk::new(BSIZE as u32, 1024));
+        let sb = bento::userspace::userspace_superblock(Arc::new(KernelBlockIo::new(dev, 512)), "test");
+        let dsb = DiskSuperblock {
+            magic: crate::layout::FSMAGIC,
+            size: 1024,
+            nblocks: 700,
+            ninodes: 128,
+            nlog: LOGSIZE as u32,
+            logstart: 2,
+            inodestart: 2 + LOGSIZE as u32,
+            bmapstart: 2 + LOGSIZE as u32 + 4,
+        };
+        (sb, Log::new(&dsb))
+    }
+
+    fn write_block_via_log(sb: &SuperBlock, log: &Log, blockno: u64, fill: u8) {
+        log.begin_op();
+        let mut buf = sb.bread(blockno).unwrap();
+        buf.data_mut().fill(fill);
+        drop(buf);
+        log.log_write(blockno).unwrap();
+        log.end_op(sb).unwrap();
+    }
+
+    #[test]
+    fn commit_installs_blocks_to_home_locations() {
+        let (sb, log) = setup();
+        write_block_via_log(&sb, &log, 600, 0xAB);
+        write_block_via_log(&sb, &log, 601, 0xCD);
+        assert_eq!(sb.bread(600).unwrap().data()[0], 0xAB);
+        assert_eq!(sb.bread(601).unwrap().data()[10], 0xCD);
+        let stats = log.stats();
+        assert_eq!(stats.commits, 2);
+        assert_eq!(stats.blocks_logged, 2);
+    }
+
+    #[test]
+    fn absorption_logs_block_once() {
+        let (sb, log) = setup();
+        log.begin_op();
+        for fill in [1u8, 2, 3] {
+            let mut buf = sb.bread(700).unwrap();
+            buf.data_mut().fill(fill);
+            drop(buf);
+            log.log_write(700).unwrap();
+        }
+        log.end_op(&sb).unwrap();
+        assert_eq!(log.stats().blocks_logged, 1);
+        assert_eq!(sb.bread(700).unwrap().data()[0], 3);
+    }
+
+    #[test]
+    fn log_write_outside_transaction_is_rejected() {
+        let (_sb, log) = setup();
+        assert_eq!(log.log_write(5).unwrap_err().errno(), Errno::Inval);
+    }
+
+    #[test]
+    fn group_commit_combines_concurrent_ops() {
+        use std::thread;
+        let dev = Arc::new(RamDisk::new(BSIZE as u32, 2048));
+        let sb = Arc::new(bento::userspace::userspace_superblock(Arc::new(KernelBlockIo::new(dev, 1024)), "test"));
+        let dsb = DiskSuperblock {
+            magic: crate::layout::FSMAGIC,
+            size: 2048,
+            nblocks: 1500,
+            ninodes: 128,
+            nlog: LOGSIZE as u32,
+            logstart: 2,
+            inodestart: 2 + LOGSIZE as u32,
+            bmapstart: 2 + LOGSIZE as u32 + 4,
+        };
+        let log = Arc::new(Log::new(&dsb));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let log = Arc::clone(&log);
+            let sb = Arc::clone(&sb);
+            handles.push(thread::spawn(move || {
+                for i in 0..20u64 {
+                    let blockno = 1000 + t * 20 + i;
+                    log.begin_op();
+                    let mut buf = sb.bread(blockno).unwrap();
+                    buf.data_mut().fill((t + 1) as u8);
+                    drop(buf);
+                    log.log_write(blockno).unwrap();
+                    log.end_op(&sb).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every block made it to its home location.
+        for t in 0..8u64 {
+            for i in 0..20u64 {
+                assert_eq!(sb.bread(1000 + t * 20 + i).unwrap().data()[0], (t + 1) as u8);
+            }
+        }
+        // Group commit means commits <= operations.
+        assert!(log.stats().commits <= 160);
+        assert_eq!(log.stats().blocks_logged, 160);
+    }
+
+    #[test]
+    fn recover_replays_committed_transaction() {
+        let (sb, log) = setup();
+        // Simulate a crash after the commit record was written but before
+        // install: write the log area and header by hand.
+        let target: u64 = 800;
+        log.begin_op();
+        {
+            // Prepare the new content in the log area only.
+            let mut log_data = sb.bread_zeroed(2 + 1).unwrap();
+            log_data.data_mut().fill(0x5E);
+            log_data.write().unwrap();
+            let mut head = sb.bread(2).unwrap();
+            put_u32(head.data_mut(), 0, 1);
+            put_u32(head.data_mut(), 4, target as u32);
+            head.write().unwrap();
+        }
+        // Home block still has old (zero) contents; "crash" and recover.
+        let log2 = Log::new(&DiskSuperblock {
+            magic: crate::layout::FSMAGIC,
+            size: 1024,
+            nblocks: 700,
+            ninodes: 128,
+            nlog: LOGSIZE as u32,
+            logstart: 2,
+            inodestart: 2 + LOGSIZE as u32,
+            bmapstart: 2 + LOGSIZE as u32 + 4,
+        });
+        let replayed = log2.recover(&sb).unwrap();
+        assert_eq!(replayed, 1);
+        assert_eq!(sb.bread(target).unwrap().data()[0], 0x5E);
+        // Header is cleared: a second recovery is a no-op.
+        assert_eq!(log2.recover(&sb).unwrap(), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! `mkfs` — formatting a block device with an empty xv6 file system.
+//!
+//! Formatting runs "from userspace" in the sense that it writes raw blocks
+//! directly to the device (exactly like the original xv6 `mkfs` tool writes
+//! a disk image); it does not go through the mounted-file-system machinery.
+
+use std::sync::Arc;
+
+use simkernel::dev::BlockDevice;
+use simkernel::error::{Errno, KernelError, KernelResult};
+
+use crate::layout::{
+    Dinode, Dirent, DiskSuperblock, BPB, BSIZE, DIRENT_SIZE, FSMAGIC, IPB, LOGSIZE, ROOT_INO,
+    T_DIR,
+};
+
+/// Formats `dev` with an empty xv6 file system containing only the root
+/// directory, and returns the superblock that was written.
+///
+/// `ninodes` is the size of the inode table (rounded up to a whole block).
+///
+/// # Errors
+///
+/// Returns [`Errno::Inval`] if the device is too small to hold the metadata
+/// plus at least a handful of data blocks; propagates device errors.
+pub fn mkfs_on_device(dev: &Arc<dyn BlockDevice>, ninodes: u32) -> KernelResult<DiskSuperblock> {
+    if dev.block_size() as usize != BSIZE {
+        return Err(KernelError::with_context(Errno::Inval, "mkfs: device block size must be 4096"));
+    }
+    let size = dev.num_blocks();
+    let ninodes = ninodes.max(IPB as u32);
+    let inode_blocks = (ninodes as u64).div_ceil(IPB as u64);
+    let bitmap_blocks = size.div_ceil(BPB as u64);
+    let logstart = 2u64;
+    let inodestart = logstart + LOGSIZE as u64;
+    let bmapstart = inodestart + inode_blocks;
+    let data_start = bmapstart + bitmap_blocks;
+    if data_start + 8 > size {
+        return Err(KernelError::with_context(Errno::Inval, "mkfs: device too small"));
+    }
+
+    let sb = DiskSuperblock {
+        magic: FSMAGIC,
+        size: size as u32,
+        nblocks: (size - data_start) as u32,
+        ninodes,
+        nlog: LOGSIZE as u32,
+        logstart: logstart as u32,
+        inodestart: inodestart as u32,
+        bmapstart: bmapstart as u32,
+    };
+
+    let zero = vec![0u8; BSIZE];
+    // Boot block and log area (header + data) start out zeroed.
+    dev.write_block(0, &zero)?;
+    for b in logstart..inodestart {
+        dev.write_block(b, &zero)?;
+    }
+    // Superblock.
+    let mut buf = vec![0u8; BSIZE];
+    sb.encode(&mut buf);
+    dev.write_block(1, &buf)?;
+    // Inode table: all free except the root directory.
+    for b in inodestart..bmapstart {
+        dev.write_block(b, &zero)?;
+    }
+    // Root directory: inode 1, one data block holding "." and "..".
+    let root_data_block = data_start;
+    let mut root_inode_block = vec![0u8; BSIZE];
+    let root = Dinode {
+        ftype: T_DIR,
+        nlink: 1,
+        size: (2 * DIRENT_SIZE) as u64,
+        addrs: {
+            let mut a = [0u32; crate::layout::NDIRECT + 2];
+            a[0] = root_data_block as u32;
+            a
+        },
+        ..Dinode::default()
+    };
+    root.encode(&mut root_inode_block, DiskSuperblock::inode_offset(ROOT_INO));
+    dev.write_block(sb.inode_block(ROOT_INO), &root_inode_block)?;
+
+    let mut root_dir = vec![0u8; BSIZE];
+    Dirent { inum: ROOT_INO, name: ".".to_string() }.encode(&mut root_dir, 0)?;
+    Dirent { inum: ROOT_INO, name: "..".to_string() }.encode(&mut root_dir, DIRENT_SIZE)?;
+    dev.write_block(root_data_block, &root_dir)?;
+
+    // Free bitmap: everything up to and including the root data block is in
+    // use (boot, super, log, inode table, the bitmap itself, root data).
+    let used_through = root_data_block; // inclusive
+    for (bi, b) in (bmapstart..data_start).enumerate() {
+        let mut bitmap = vec![0u8; BSIZE];
+        let first_bit = bi as u64 * BPB as u64;
+        for bit in 0..BPB as u64 {
+            let blockno = first_bit + bit;
+            if blockno <= used_through && blockno < size {
+                bitmap[(bit / 8) as usize] |= 1 << (bit % 8);
+            }
+        }
+        dev.write_block(b, &bitmap)?;
+    }
+    dev.flush()?;
+    Ok(sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkernel::dev::RamDisk;
+
+    #[test]
+    fn mkfs_writes_a_decodable_superblock() {
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(4096, 4096));
+        let sb = mkfs_on_device(&dev, 512).unwrap();
+        let mut buf = vec![0u8; BSIZE];
+        dev.read_block(1, &mut buf).unwrap();
+        let decoded = DiskSuperblock::decode(&buf).unwrap();
+        assert_eq!(decoded, sb);
+        assert_eq!(decoded.ninodes, 512);
+        assert!(decoded.nblocks > 0);
+    }
+
+    #[test]
+    fn mkfs_creates_root_directory_with_dot_entries() {
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(4096, 4096));
+        let sb = mkfs_on_device(&dev, 128).unwrap();
+        let mut buf = vec![0u8; BSIZE];
+        dev.read_block(sb.inode_block(ROOT_INO), &mut buf).unwrap();
+        let root = Dinode::decode(&buf, DiskSuperblock::inode_offset(ROOT_INO));
+        assert_eq!(root.ftype, T_DIR);
+        assert_eq!(root.size, 2 * DIRENT_SIZE as u64);
+        dev.read_block(root.addrs[0] as u64, &mut buf).unwrap();
+        assert_eq!(Dirent::decode(&buf, 0).name, ".");
+        assert_eq!(Dirent::decode(&buf, DIRENT_SIZE).name, "..");
+        assert_eq!(Dirent::decode(&buf, DIRENT_SIZE).inum, ROOT_INO);
+    }
+
+    #[test]
+    fn mkfs_rejects_tiny_devices() {
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(4096, 16));
+        assert_eq!(mkfs_on_device(&dev, 64).unwrap_err().errno(), Errno::Inval);
+    }
+
+    #[test]
+    fn bitmap_marks_metadata_in_use() {
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(4096, 4096));
+        let sb = mkfs_on_device(&dev, 128).unwrap();
+        let mut bitmap = vec![0u8; BSIZE];
+        dev.read_block(sb.bmapstart as u64, &mut bitmap).unwrap();
+        // Block 0 (boot) and block 1 (superblock) are marked used.
+        assert_eq!(bitmap[0] & 0b11, 0b11);
+    }
+}

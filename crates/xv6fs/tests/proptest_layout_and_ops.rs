@@ -1,0 +1,138 @@
+//! Property-based tests for the xv6 on-disk format and for the file system's
+//! observable behaviour against a simple in-memory model.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use bento::bentofs::BentoFs;
+use simkernel::dev::{BlockDevice, RamDisk};
+use simkernel::vfs::{FileMode, SetAttr, VfsFs, PAGE_SIZE};
+use xv6fs::layout::{Dinode, Dirent, DiskSuperblock, BSIZE, DIRSIZ, FSMAGIC, NDIRECT};
+
+fn mount_fresh(blocks: u64) -> Arc<BentoFs> {
+    let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(4096, blocks));
+    xv6fs::mkfs::mkfs_on_device(&dev, 1024).expect("mkfs");
+    xv6fs::fstype().mount_on(dev).expect("mount")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Dinode serialization is a bijection for every field value.
+    #[test]
+    fn dinode_roundtrips(
+        ftype in 0u16..4,
+        major in any::<u16>(),
+        minor in any::<u16>(),
+        nlink in any::<u16>(),
+        size in any::<u64>(),
+        addrs in prop::collection::vec(any::<u32>(), NDIRECT + 2)
+    ) {
+        let mut fixed = [0u32; NDIRECT + 2];
+        fixed.copy_from_slice(&addrs);
+        let d = Dinode { ftype, major, minor, nlink, size, addrs: fixed };
+        let mut buf = vec![0u8; BSIZE];
+        let slot = 7;
+        d.encode(&mut buf, slot * 128);
+        prop_assert_eq!(Dinode::decode(&buf, slot * 128), d);
+    }
+
+    /// Dirent names survive encoding for every legal name.
+    #[test]
+    fn dirent_roundtrips(inum in any::<u32>(), name in "[a-zA-Z0-9_.-]{1,28}") {
+        let d = Dirent { inum, name: name.clone() };
+        let mut buf = vec![0u8; 32];
+        d.encode(&mut buf, 0).expect("legal name");
+        let back = Dirent::decode(&buf, 0);
+        prop_assert_eq!(back.inum, inum);
+        prop_assert_eq!(back.name, name);
+    }
+
+    /// Superblock decoding accepts exactly what encoding produced and rejects
+    /// corrupted magic numbers.
+    #[test]
+    fn superblock_roundtrip_and_magic(size in 1u32..1_000_000, ninodes in 1u32..100_000) {
+        let sb = DiskSuperblock {
+            magic: FSMAGIC,
+            size,
+            nblocks: size / 2,
+            ninodes,
+            nlog: 257,
+            logstart: 2,
+            inodestart: 300,
+            bmapstart: 400,
+        };
+        let mut buf = vec![0u8; BSIZE];
+        sb.encode(&mut buf);
+        prop_assert_eq!(DiskSuperblock::decode(&buf).unwrap(), sb);
+        buf[3] ^= 0x40;
+        prop_assert!(DiskSuperblock::decode(&buf).is_err());
+    }
+
+    /// Names longer than DIRSIZ or containing separators are rejected.
+    #[test]
+    fn illegal_names_rejected(name in "[a-z/]{0,40}") {
+        let verdict = xv6fs::layout::validate_name(&name);
+        let legal = !name.is_empty() && name.len() <= DIRSIZ && !name.contains('/');
+        prop_assert_eq!(verdict.is_ok(), legal);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
+
+    /// Writing arbitrary slices at arbitrary (small) offsets and truncating
+    /// produces exactly the bytes a plain Vec<u8> model predicts, read back
+    /// through page-granular reads.
+    #[test]
+    fn write_truncate_matches_model(
+        ops in prop::collection::vec(
+            (0u64..(6 * PAGE_SIZE as u64), prop::collection::vec(any::<u8>(), 1..2 * PAGE_SIZE), prop::option::of(0u64..(8 * PAGE_SIZE as u64))),
+            1..8
+        )
+    ) {
+        let fs = mount_fresh(4096);
+        let file = fs.create(1, "model", FileMode::regular()).expect("create");
+        let mut model: Vec<u8> = Vec::new();
+
+        for (offset, data, maybe_truncate) in &ops {
+            // Apply the write through the (batched) writepages path.
+            let end = *offset as usize + data.len();
+            if model.len() < end {
+                model.resize(end, 0);
+            }
+            model[*offset as usize..end].copy_from_slice(data);
+            // Mirror into the fs: write page-aligned chunks covering the range.
+            let first_page = *offset / PAGE_SIZE as u64;
+            let last_page = (end as u64 - 1) / PAGE_SIZE as u64;
+            for page in first_page..=last_page {
+                let mut page_buf = vec![0u8; PAGE_SIZE];
+                let page_start = (page * PAGE_SIZE as u64) as usize;
+                let copy_end = model.len().min(page_start + PAGE_SIZE);
+                if page_start < copy_end {
+                    page_buf[..copy_end - page_start].copy_from_slice(&model[page_start..copy_end]);
+                }
+                fs.write_page(file.ino, page, &page_buf, model.len() as u64).expect("write_page");
+            }
+            if let Some(new_len) = maybe_truncate {
+                fs.setattr(file.ino, &SetAttr::truncate(*new_len)).expect("truncate");
+                model.resize(*new_len as usize, 0);
+            }
+        }
+
+        prop_assert_eq!(fs.getattr(file.ino).expect("getattr").size, model.len() as u64);
+        let mut back = vec![0u8; model.len()];
+        let mut read = 0usize;
+        while read < back.len() {
+            let page = (read / PAGE_SIZE) as u64;
+            let mut page_buf = vec![0u8; PAGE_SIZE];
+            let n = fs.read_page(file.ino, page, &mut page_buf).expect("read_page");
+            let take = n.min(back.len() - read);
+            prop_assert!(take > 0, "unexpected EOF at {}", read);
+            back[read..read + take].copy_from_slice(&page_buf[..take]);
+            read += take;
+        }
+        prop_assert_eq!(back, model);
+    }
+}
