@@ -1,0 +1,234 @@
+//! Derive macros for the offline `serde` drop-in.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input token
+//! stream is walked directly and the generated impl is assembled as a
+//! string.  Supported shapes — which cover every derive site in this
+//! workspace — are structs with named fields and enums whose variants are
+//! all unit variants.  Anything else produces a compile error naming the
+//! limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok(shape) => generate(&shape, mode).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error tokens parse"),
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                return Err(format!("serde drop-in derive: unexpected token `{s}`"));
+            }
+            other => return Err(format!("serde drop-in derive: unexpected input {other:?}")),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde drop-in derive: expected type name, got {other:?}")),
+    };
+    // Generics are not supported (and not used by any derive site here).
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err("serde drop-in derive: generic types are not supported".to_string());
+        }
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(
+                "serde drop-in derive: only braced structs and enums are supported".to_string()
+            )
+        }
+    };
+    if kind == "struct" {
+        Ok(Shape::Struct { name, fields: parse_named_fields(body)? })
+    } else {
+        Ok(Shape::Enum { name, variants: parse_unit_variants(body)? })
+    }
+}
+
+/// Splits a brace-group body at top-level commas and returns the leading
+/// identifier of each chunk (skipping attributes and visibility).
+fn leading_idents(body: TokenStream, expect_colon: bool) -> Result<Vec<(String, bool)>, String> {
+    let mut out = Vec::new();
+    let mut chunk: Vec<TokenTree> = Vec::new();
+    let mut flush = |chunk: &mut Vec<TokenTree>| -> Result<(), String> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let mut iter = chunk.drain(..).peekable();
+        let ident = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => return Err(format!("serde drop-in derive: unexpected {other:?}")),
+            }
+        };
+        let mut has_payload = false;
+        if expect_colon {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                _ => {
+                    return Err(format!(
+                        "serde drop-in derive: field `{ident}` has no type annotation \
+                         (tuple structs are not supported)"
+                    ))
+                }
+            }
+        } else if iter.peek().is_some() {
+            has_payload = true;
+        }
+        out.push((ident, has_payload));
+        Ok(())
+    };
+    // Angle brackets are punctuation, not token groups, so a generic type
+    // like `BTreeMap<u64, u64>` contains commas that must not split fields.
+    let mut angle_depth = 0i32;
+    for token in body {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                chunk.push(token);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                chunk.push(token);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => flush(&mut chunk)?,
+            _ => chunk.push(token),
+        }
+    }
+    flush(&mut chunk)?;
+    Ok(out)
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    Ok(leading_idents(body, true)?.into_iter().map(|(name, _)| name).collect())
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let variants = leading_idents(body, false)?;
+    if let Some((name, _)) = variants.iter().find(|(_, payload)| *payload) {
+        return Err(format!(
+            "serde drop-in derive: enum variant `{name}` carries data; \
+             only unit variants are supported"
+        ));
+    }
+    Ok(variants.into_iter().map(|(name, _)| name).collect())
+}
+
+fn generate(shape: &Shape, mode: Mode) -> String {
+    match (shape, mode) {
+        (Shape::Struct { name, fields }, Mode::Serialize) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Struct { name, fields }, Mode::Deserialize) => {
+            let inits: String =
+                fields.iter().map(|f| format!("{f}: ::serde::__field(v, {f:?})?,\n")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Enum { name, variants }, Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Enum { name, variants }, Mode::Deserialize) => {
+            let arms: String =
+                variants.iter().map(|v| format!("{v:?} => Ok({name}::{v}),\n")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => Err(::serde::Error::msg(format!(\n\
+                                     \"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             _ => Err(::serde::Error::msg(\"expected string for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

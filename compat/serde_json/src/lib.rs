@@ -1,0 +1,409 @@
+//! Offline drop-in for the subset of `serde_json` this workspace uses:
+//! `to_string`, `to_string_pretty`, `to_vec`, `from_str`, `from_slice`.
+//! Prints and parses the [`serde::Value`] tree produced by the offline
+//! `serde` drop-in.
+
+pub use serde::{Error, Value};
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for tree-representable values; the `Result` mirrors the real
+/// API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// As for [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a compact JSON byte vector.
+///
+/// # Errors
+///
+/// As for [`to_string`].
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = Parser { bytes: s.as_bytes(), pos: 0 }.parse_document()?;
+    T::from_value(&value)
+}
+
+/// Deserializes a value from JSON bytes.
+///
+/// # Errors
+///
+/// As for [`from_str`], plus invalid UTF-8.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                out.push_str(&format!("{f}"));
+                if f.fract() == 0.0 && !out.ends_with(['.', 'e', 'E']) {
+                    // Keep a float marker so the value parses back as Float.
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            if !fields.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_document(mut self) -> Result<Value, Error> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(Error::msg("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected `{}` at byte {}", byte as char, self.pos)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::msg(format!("unexpected character at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::msg("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::msg("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| Error::msg("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let first = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: a low surrogate must follow.
+                                if !self.eat_literal("\\u") {
+                                    return Err(Error::msg("unpaired surrogate"));
+                                }
+                                let second = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(Error::msg("unpaired surrogate"));
+                                }
+                                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                            } else {
+                                first
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(Error::msg("invalid escape sequence")),
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'"' || c == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| Error::msg(format!("invalid UTF-8 in string: {e}")))?;
+                    out.push_str(chunk);
+                }
+                None => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+
+    /// Parses 4 hex digits at the current position, advancing past them.
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::msg("truncated unicode escape"))?;
+        let s = std::str::from_utf8(digits).map_err(|_| Error::msg("invalid unicode escape"))?;
+        let code = u32::from_str_radix(s, 16).map_err(|_| Error::msg("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrips() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::Str("a \"quoted\"\nline".to_string())),
+            ("count".to_string(), Value::Int(18_446_744_073_709_551_615)),
+            ("ratio".to_string(), Value::Float(0.25)),
+            ("flag".to_string(), Value::Bool(true)),
+            ("nothing".to_string(), Value::Null),
+            ("list".to_string(), Value::Array(vec![Value::Int(1), Value::Int(-2)])),
+        ]);
+        let compact = to_string(&v).unwrap();
+        let parsed: Value = from_str(&compact).unwrap();
+        assert_eq!(parsed, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let parsed: Value = from_str(&pretty).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let s = to_string(&vec![(3u64, "x".to_string())]).unwrap();
+        let back: Vec<(u64, String)> = from_str(&s).unwrap();
+        assert_eq!(back, vec![(3, "x".to_string())]);
+        let n: u64 = from_str("18446744073709551615").unwrap();
+        assert_eq!(n, u64::MAX);
+        let o: Option<f64> = from_str("null").unwrap();
+        assert_eq!(o, None);
+    }
+
+    #[test]
+    fn map_keys_roundtrip_as_strings() {
+        use std::collections::HashMap;
+        let mut m: HashMap<u64, u32> = HashMap::new();
+        m.insert(7, 1);
+        m.insert(99, 2);
+        let s = to_string(&m).unwrap();
+        let back: HashMap<u64, u32> = from_str(&s).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+}

@@ -10,28 +10,25 @@ use std::collections::BTreeSet;
 
 use bench::{
     fig2_read_4k, fig3_read_throughput, fig4_write_throughput, print_rows, rows_to_json,
-    table1_bug_analysis, table2_mechanism_comparison, table4_create, table5_delete,
-    table6_macrobenchmarks, ExperimentConfig, Row,
+    scaling_experiment, table1_bug_analysis, table2_mechanism_comparison, table4_create,
+    table5_delete, table6_macrobenchmarks, ExperimentConfig, Row,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
     let mut selected: BTreeSet<String> = args
         .iter()
         .filter(|a| !a.starts_with("--") && Some(a.as_str()) != json_path.as_deref())
         .cloned()
         .collect();
     if selected.is_empty() || selected.contains("all") {
-        selected = ["table1", "table2", "fig2", "fig3", "fig4", "table4", "table5", "table6"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        selected =
+            ["table1", "table2", "fig2", "fig3", "fig4", "table4", "table5", "table6", "scaling"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
     }
     let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
     println!(
@@ -65,26 +62,57 @@ fn main() {
     if selected.contains("table2") {
         println!("\n=== Table 2: extensibility mechanisms (safety / performance / generality / online upgrade) ===");
         for (mechanism, cells) in table2_mechanism_comparison() {
-            println!("{mechanism:<6} {:<6} {:<12} {:<11} {}", cells[0], cells[1], cells[2], cells[3]);
+            println!(
+                "{mechanism:<6} {:<6} {:<12} {:<11} {}",
+                cells[0], cells[1], cells[2], cells[3]
+            );
         }
     }
     if selected.contains("fig2") {
-        run(&mut all_rows, "fig2", fig2_read_4k(&cfg), "Figure 2: 4 KiB read performance (ops/sec)");
+        run(
+            &mut all_rows,
+            "fig2",
+            fig2_read_4k(&cfg),
+            "Figure 2: 4 KiB read performance (ops/sec)",
+        );
     }
     if selected.contains("fig3") {
         run(&mut all_rows, "fig3", fig3_read_throughput(&cfg), "Figure 3: read throughput (MB/s)");
     }
     if selected.contains("fig4") {
-        run(&mut all_rows, "fig4", fig4_write_throughput(&cfg), "Figure 4: write throughput (MB/s)");
+        run(
+            &mut all_rows,
+            "fig4",
+            fig4_write_throughput(&cfg),
+            "Figure 4: write throughput (MB/s)",
+        );
     }
     if selected.contains("table4") {
-        run(&mut all_rows, "table4", table4_create(&cfg), "Table 4: create microbenchmark (ops/sec)");
+        run(
+            &mut all_rows,
+            "table4",
+            table4_create(&cfg),
+            "Table 4: create microbenchmark (ops/sec)",
+        );
     }
     if selected.contains("table5") {
-        run(&mut all_rows, "table5", table5_delete(&cfg), "Table 5: delete microbenchmark (ops/sec)");
+        run(
+            &mut all_rows,
+            "table5",
+            table5_delete(&cfg),
+            "Table 5: delete microbenchmark (ops/sec)",
+        );
     }
     if selected.contains("table6") {
         run(&mut all_rows, "table6", table6_macrobenchmarks(&cfg), "Table 6: macrobenchmarks");
+    }
+    if selected.contains("scaling") {
+        run(
+            &mut all_rows,
+            "scaling",
+            scaling_experiment(&cfg),
+            "Scaling: 1-32 threads, zero-cost device, disjoint files (ops/sec)",
+        );
     }
 
     if let Some(path) = json_path {

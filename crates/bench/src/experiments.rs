@@ -8,7 +8,7 @@ use simkernel::error::KernelResult;
 use bugdb::BugStudy;
 use workloads::{
     create_micro, delete_micro, fileserver, generate_linux_like_manifest, mount_stack, read_micro,
-    untar, varmail, write_micro, AccessPattern, FsStack,
+    read_micro_disjoint, untar, varmail, write_micro, write_micro_disjoint, AccessPattern, FsStack,
 };
 
 use crate::report::Row;
@@ -81,7 +81,14 @@ pub fn table1_bug_analysis() -> Vec<Row> {
         .map(|c| Row::new("table1", c.name, "-", c.count as f64, "bugs", Some(c.count as f64)))
         .collect();
     let summary = study.summary();
-    rows.push(Row::new("table1", "memory %", "-", summary.memory_fraction * 100.0, "%", Some(68.0)));
+    rows.push(Row::new(
+        "table1",
+        "memory %",
+        "-",
+        summary.memory_fraction * 100.0,
+        "%",
+        Some(68.0),
+    ));
     rows.push(Row::new(
         "table1",
         "prevented by Rust %",
@@ -90,8 +97,22 @@ pub fn table1_bug_analysis() -> Vec<Row> {
         "%",
         Some(93.0),
     ));
-    rows.push(Row::new("table1", "kernel oops %", "-", summary.oops_fraction * 100.0, "%", Some(26.0)));
-    rows.push(Row::new("table1", "memory leak %", "-", summary.leak_fraction * 100.0, "%", Some(34.0)));
+    rows.push(Row::new(
+        "table1",
+        "kernel oops %",
+        "-",
+        summary.oops_fraction * 100.0,
+        "%",
+        Some(26.0),
+    ));
+    rows.push(Row::new(
+        "table1",
+        "memory leak %",
+        "-",
+        summary.leak_fraction * 100.0,
+        "%",
+        Some(34.0),
+    ));
     rows
 }
 
@@ -122,9 +143,22 @@ pub fn fig2_read_4k(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
             (AccessPattern::Random, 1, "rnd-1t"),
             (AccessPattern::Random, cfg.threads_high, "rnd-32t"),
         ] {
-            let result =
-                read_micro(&mounted.vfs, cfg.micro_file_size, 4096, pattern, threads, cfg.duration)?;
-            rows.push(Row::new("fig2", label, stack.label(), result.ops_per_sec(), "ops/sec", None));
+            let result = read_micro(
+                &mounted.vfs,
+                cfg.micro_file_size,
+                4096,
+                pattern,
+                threads,
+                cfg.duration,
+            )?;
+            rows.push(Row::new(
+                "fig2",
+                label,
+                stack.label(),
+                result.ops_per_sec(),
+                "ops/sec",
+                None,
+            ));
         }
         mounted.unmount()?;
     }
@@ -157,7 +191,14 @@ pub fn fig3_read_throughput(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
                     cfg.duration,
                 )?;
                 let config = format!("{}k-{label}", io_size / 1024);
-                rows.push(Row::new("fig3", &config, stack.label(), result.throughput_mbps(), "MB/s", None));
+                rows.push(Row::new(
+                    "fig3",
+                    &config,
+                    stack.label(),
+                    result.throughput_mbps(),
+                    "MB/s",
+                    None,
+                ));
             }
         }
         mounted.unmount()?;
@@ -190,7 +231,14 @@ pub fn fig4_write_throughput(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
                     cfg.duration,
                 )?;
                 let config = format!("{}k-{label}", io_size / 1024);
-                rows.push(Row::new("fig4", &config, stack.label(), result.throughput_mbps(), "MB/s", None));
+                rows.push(Row::new(
+                    "fig4",
+                    &config,
+                    stack.label(),
+                    result.throughput_mbps(),
+                    "MB/s",
+                    None,
+                ));
                 mounted.unmount()?;
             }
         }
@@ -208,14 +256,23 @@ pub fn table4_create(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
         &[("Bento", 1126.0, 1072.0), ("C-Kernel", 933.0, 881.0), ("FUSE", 24.0, 24.0)];
     let mut rows = Vec::new();
     for stack in FsStack::xv6_variants() {
-        for (threads, label, paper_idx) in [(1usize, "1 thread", 1usize), (cfg.threads_high, "32 threads", 2)] {
+        for (threads, label, paper_idx) in
+            [(1usize, "1 thread", 1usize), (cfg.threads_high, "32 threads", 2)]
+        {
             let mounted = mount_stack(stack, cfg.model.clone(), cfg.disk_blocks)?;
             let result = create_micro(&mounted.vfs, 16 * 1024, threads, cfg.duration)?;
             let paper_value = paper
                 .iter()
                 .find(|(name, _, _)| *name == stack.label())
                 .map(|(_, one, many)| if paper_idx == 1 { *one } else { *many });
-            rows.push(Row::new("table4", label, stack.label(), result.ops_per_sec(), "ops/sec", paper_value));
+            rows.push(Row::new(
+                "table4",
+                label,
+                stack.label(),
+                result.ops_per_sec(),
+                "ops/sec",
+                paper_value,
+            ));
             mounted.unmount()?;
         }
     }
@@ -232,7 +289,9 @@ pub fn table5_delete(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
         &[("Bento", 7499.0, 7502.0), ("C-Kernel", 7500.0, 8253.0), ("FUSE", 118.0, 116.0)];
     let mut rows = Vec::new();
     for stack in FsStack::xv6_variants() {
-        for (threads, label, first) in [(1usize, "1 thread", true), (cfg.threads_high, "32 threads", false)] {
+        for (threads, label, first) in
+            [(1usize, "1 thread", true), (cfg.threads_high, "32 threads", false)]
+        {
             let mounted = mount_stack(stack, cfg.model.clone(), cfg.disk_blocks)?;
             let per_thread = cfg.delete_per_thread(threads);
             let result = delete_micro(&mounted.vfs, per_thread, 4096, threads, cfg.duration)?;
@@ -240,7 +299,14 @@ pub fn table5_delete(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
                 .iter()
                 .find(|(name, _, _)| *name == stack.label())
                 .map(|(_, one, many)| if first { *one } else { *many });
-            rows.push(Row::new("table5", label, stack.label(), result.ops_per_sec(), "ops/sec", paper_value));
+            rows.push(Row::new(
+                "table5",
+                label,
+                stack.label(),
+                result.ops_per_sec(),
+                "ops/sec",
+                paper_value,
+            ));
             mounted.unmount()?;
         }
     }
@@ -255,7 +321,8 @@ pub fn table5_delete(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
 /// Propagates mount/workload errors.
 pub fn table6_macrobenchmarks(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
     let paper_varmail = [("Bento", 320.0), ("C-Kernel", 303.0), ("FUSE", 24.0), ("Ext4", 785.0)];
-    let paper_fileserver = [("Bento", 3860.0), ("C-Kernel", 2947.0), ("FUSE", 7.0), ("Ext4", 5172.0)];
+    let paper_fileserver =
+        [("Bento", 3860.0), ("C-Kernel", 2947.0), ("FUSE", 7.0), ("Ext4", 5172.0)];
     let paper_untar = [("Bento", 19.8), ("C-Kernel", 31.6), ("FUSE", 3404.9), ("Ext4", 6.2)];
     let paper_of = |table: &[(&str, f64)], stack: FsStack| {
         table.iter().find(|(name, _)| *name == stack.label()).map(|(_, v)| *v)
@@ -319,9 +386,114 @@ pub fn table6_macrobenchmarks(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> 
     Ok(rows)
 }
 
+/// The thread counts swept by [`scaling_experiment`]: the paper evaluates 1
+/// and 32 threads; the sweep fills in the curve between them.
+pub const SCALING_THREADS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Concurrency scaling sweep: 1 → 32 threads over the read / write / create
+/// microbenchmarks on the Bento and VFS stacks, with the device cost model
+/// *disabled* (zero-cost preset).
+///
+/// With no modelled device time, all that remains on the hot path is
+/// software: the stack's own code plus every lock the simulated kernel
+/// takes.  Before the sharded concurrency substrate, the buffer cache map,
+/// the page cache file table and the fd table were single global locks and
+/// this sweep flatlined (or regressed) immediately; with sharding, the
+/// read/write rows use one private file per thread
+/// ([`read_micro_disjoint`]) so distinct threads share no per-file state
+/// and the curve tracks available hardware parallelism.
+///
+/// Rows are labelled `read-4k-rnd-Nt` / `write-4k-rnd-Nt` / `create-Nt`,
+/// reporting ops/s — this is what BENCH_*.json tracks as concurrency
+/// scaling rather than single-thread latency.
+///
+/// # Errors
+///
+/// Propagates mount/workload errors.
+pub fn scaling_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
+    let model = CostModel::zero();
+    let file_size_per_thread: u64 = 2 * 1024 * 1024;
+    let mut rows = Vec::new();
+    for stack in [FsStack::BentoXv6, FsStack::VfsXv6] {
+        for threads in SCALING_THREADS {
+            // Fresh mount per point so earlier points cannot warm or
+            // pollute later ones.
+            let mounted = mount_stack(stack, model.clone(), cfg.disk_blocks)?;
+            let read = read_micro_disjoint(
+                &mounted.vfs,
+                file_size_per_thread,
+                4096,
+                AccessPattern::Random,
+                threads,
+                cfg.duration,
+            )?;
+            rows.push(Row::new(
+                "scaling",
+                &format!("read-4k-rnd-{threads}t"),
+                stack.label(),
+                read.ops_per_sec(),
+                "ops/sec",
+                None,
+            ));
+            let write = write_micro_disjoint(
+                &mounted.vfs,
+                file_size_per_thread,
+                4096,
+                AccessPattern::Random,
+                threads,
+                cfg.duration,
+            )?;
+            rows.push(Row::new(
+                "scaling",
+                &format!("write-4k-rnd-{threads}t"),
+                stack.label(),
+                write.ops_per_sec(),
+                "ops/sec",
+                None,
+            ));
+            let create = create_micro(&mounted.vfs, 4096, threads, cfg.duration)?;
+            rows.push(Row::new(
+                "scaling",
+                &format!("create-{threads}t"),
+                stack.label(),
+                create.ops_per_sec(),
+                "ops/sec",
+                None,
+            ));
+            mounted.unmount()?;
+        }
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scaling_rows_cover_both_stacks_and_all_thread_counts() {
+        // A very short sweep: correctness of the row structure, not numbers.
+        let cfg = ExperimentConfig {
+            duration: Duration::from_millis(30),
+            disk_blocks: 48 * 1024,
+            ..ExperimentConfig::quick()
+        };
+        let rows = scaling_experiment(&cfg).expect("scaling sweep");
+        assert_eq!(rows.len(), 2 * SCALING_THREADS.len() * 3);
+        for stack in ["Bento", "C-Kernel"] {
+            for threads in SCALING_THREADS {
+                for prefix in ["read-4k-rnd", "write-4k-rnd", "create"] {
+                    let config = format!("{prefix}-{threads}t");
+                    let row = rows
+                        .iter()
+                        .find(|r| r.stack == stack && r.config == config)
+                        .unwrap_or_else(|| panic!("missing row {stack}/{config}"));
+                    assert!(row.value > 0.0, "{stack}/{config} must do work");
+                    assert_eq!(row.unit, "ops/sec");
+                }
+            }
+        }
+    }
 
     #[test]
     fn table1_reproduces_published_percentages() {

@@ -21,8 +21,8 @@ use parking_lot::RwLock;
 use simkernel::dev::BlockDevice;
 use simkernel::error::{Errno, KernelError, KernelResult};
 use simkernel::vfs::{
-    DirEntry, FileMode, FilesystemType, InodeAttr, MountOptions, OpenFlags, SetAttr, StatFs,
-    Vfs, VfsFs, PAGE_SIZE,
+    DirEntry, FileMode, FilesystemType, InodeAttr, MountOptions, OpenFlags, SetAttr, StatFs, Vfs,
+    VfsFs, PAGE_SIZE,
 };
 
 use crate::bentoks::{KernelBlockIo, SuperBlock};
@@ -252,7 +252,13 @@ impl VfsFs for BentoFs {
         Ok(n)
     }
 
-    fn write_page(&self, ino: u64, page_index: u64, data: &[u8], file_size: u64) -> KernelResult<()> {
+    fn write_page(
+        &self,
+        ino: u64,
+        page_index: u64,
+        data: &[u8],
+        file_size: u64,
+    ) -> KernelResult<()> {
         let req = self.track();
         let offset = page_index * PAGE_SIZE as u64;
         if offset >= file_size {
@@ -295,7 +301,10 @@ impl VfsFs for BentoFs {
         }
         let written = self.fs.read().write(&req, &self.sb, ino, 0, offset, &buf)?;
         if written != buf.len() {
-            return Err(KernelError::with_context(Errno::Io, "short write during batched writeback"));
+            return Err(KernelError::with_context(
+                Errno::Io,
+                "short write during batched writeback",
+            ));
         }
         Ok(())
     }
@@ -454,12 +463,17 @@ mod tests {
                 return Ok(InodeAttr::directory(1));
             }
             let files = self.files.lock();
-            let (_, data) =
-                files.get(&ino).ok_or(KernelError::new(Errno::NoEnt))?;
+            let (_, data) = files.get(&ino).ok_or(KernelError::new(Errno::NoEnt))?;
             Ok(InodeAttr::regular(ino, data.len() as u64))
         }
 
-        fn lookup(&self, _req: &Request, _sb: &SuperBlock, _parent: u64, name: &str) -> KernelResult<InodeAttr> {
+        fn lookup(
+            &self,
+            _req: &Request,
+            _sb: &SuperBlock,
+            _parent: u64,
+            name: &str,
+        ) -> KernelResult<InodeAttr> {
             let files = self.files.lock();
             for (ino, (fname, data)) in files.iter() {
                 if fname == name {
@@ -485,7 +499,13 @@ mod tests {
             Ok(CreateReply { attr: InodeAttr::regular(ino, 0), fh: ino })
         }
 
-        fn open(&self, _req: &Request, _sb: &SuperBlock, ino: u64, _flags: OpenFlags) -> KernelResult<u64> {
+        fn open(
+            &self,
+            _req: &Request,
+            _sb: &SuperBlock,
+            ino: u64,
+            _flags: OpenFlags,
+        ) -> KernelResult<u64> {
             Ok(ino)
         }
 
@@ -524,21 +544,42 @@ mod tests {
             Ok(data.len())
         }
 
-        fn readdir(&self, _req: &Request, _sb: &SuperBlock, _ino: u64, _fh: u64) -> KernelResult<Vec<DirEntry>> {
+        fn readdir(
+            &self,
+            _req: &Request,
+            _sb: &SuperBlock,
+            _ino: u64,
+            _fh: u64,
+        ) -> KernelResult<Vec<DirEntry>> {
             Ok(self
                 .files
                 .lock()
                 .iter()
-                .map(|(ino, (name, _))| DirEntry { ino: *ino, name: name.clone(), kind: FileType::Regular })
+                .map(|(ino, (name, _))| DirEntry {
+                    ino: *ino,
+                    name: name.clone(),
+                    kind: FileType::Regular,
+                })
                 .collect())
         }
 
-        fn fsync(&self, _req: &Request, _sb: &SuperBlock, _ino: u64, _fh: u64, _ds: bool) -> KernelResult<()> {
+        fn fsync(
+            &self,
+            _req: &Request,
+            _sb: &SuperBlock,
+            _ino: u64,
+            _fh: u64,
+            _ds: bool,
+        ) -> KernelResult<()> {
             Ok(())
         }
 
         fn statfs(&self, _req: &Request, sb: &SuperBlock) -> KernelResult<StatFs> {
-            Ok(StatFs { total_blocks: sb.nblocks(), block_size: sb.block_size() as u32, ..StatFs::default() })
+            Ok(StatFs {
+                total_blocks: sb.nblocks(),
+                block_size: sb.block_size() as u32,
+                ..StatFs::default()
+            })
         }
 
         fn extract_state(&self, _req: &Request, _sb: &SuperBlock) -> KernelResult<StateBundle> {
@@ -558,7 +599,12 @@ mod tests {
             Ok(bundle)
         }
 
-        fn restore_state(&self, _req: &Request, _sb: &SuperBlock, state: StateBundle) -> KernelResult<()> {
+        fn restore_state(
+            &self,
+            _req: &Request,
+            _sb: &SuperBlock,
+            state: StateBundle,
+        ) -> KernelResult<()> {
             let files: Vec<(u64, String, Vec<u8>)> = state.get("files")?;
             let next: u64 = state.get("next_ino")?;
             let mut map = self.files.lock();
@@ -571,8 +617,13 @@ mod tests {
     }
 
     fn mounted() -> Arc<BentoFs> {
-        BentoFs::mount("testfs", Arc::new(RamDisk::new(4096, 64)), 16, Box::new(TestFs::with_version(1)))
-            .unwrap()
+        BentoFs::mount(
+            "testfs",
+            Arc::new(RamDisk::new(4096, 64)),
+            16,
+            Box::new(TestFs::with_version(1)),
+        )
+        .unwrap()
     }
 
     #[test]

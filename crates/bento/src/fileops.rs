@@ -100,7 +100,13 @@ pub trait FileSystem: Send + Sync {
     /// # Errors
     ///
     /// `ENOENT` if absent, `ENOTDIR` if `parent` is not a directory.
-    fn lookup(&self, req: &Request, sb: &SuperBlock, parent: u64, name: &str) -> KernelResult<InodeAttr> {
+    fn lookup(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        parent: u64,
+        name: &str,
+    ) -> KernelResult<InodeAttr> {
         nosys("lookup")
     }
 
@@ -118,7 +124,13 @@ pub trait FileSystem: Send + Sync {
     /// # Errors
     ///
     /// `ENOENT`, `EISDIR` (truncating a directory), `ENOSPC`.
-    fn setattr(&self, req: &Request, sb: &SuperBlock, ino: u64, set: &SetAttr) -> KernelResult<InodeAttr> {
+    fn setattr(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        set: &SetAttr,
+    ) -> KernelResult<InodeAttr> {
         nosys("setattr")
     }
 
@@ -144,7 +156,14 @@ pub trait FileSystem: Send + Sync {
     /// # Errors
     ///
     /// `EEXIST`, `ENOSPC`, `ENOTDIR`.
-    fn mkdir(&self, req: &Request, sb: &SuperBlock, parent: u64, name: &str, mode: FileMode) -> KernelResult<InodeAttr> {
+    fn mkdir(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        parent: u64,
+        name: &str,
+        mode: FileMode,
+    ) -> KernelResult<InodeAttr> {
         nosys("mkdir")
     }
 
@@ -189,7 +208,14 @@ pub trait FileSystem: Send + Sync {
     /// # Errors
     ///
     /// `EPERM` (directories), `EEXIST`, `ENOSPC`, `EMLINK`.
-    fn link(&self, req: &Request, sb: &SuperBlock, ino: u64, newparent: u64, newname: &str) -> KernelResult<InodeAttr> {
+    fn link(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        newparent: u64,
+        newname: &str,
+    ) -> KernelResult<InodeAttr> {
         nosys("link")
     }
 
@@ -199,7 +225,13 @@ pub trait FileSystem: Send + Sync {
     /// # Errors
     ///
     /// `ENOENT`.
-    fn open(&self, req: &Request, sb: &SuperBlock, ino: u64, flags: OpenFlags) -> KernelResult<u64> {
+    fn open(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        flags: OpenFlags,
+    ) -> KernelResult<u64> {
         nosys("open")
     }
 
@@ -260,7 +292,14 @@ pub trait FileSystem: Send + Sync {
     /// # Errors
     ///
     /// I/O errors propagate.
-    fn fsync(&self, req: &Request, sb: &SuperBlock, ino: u64, fh: u64, datasync: bool) -> KernelResult<()> {
+    fn fsync(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        fh: u64,
+        datasync: bool,
+    ) -> KernelResult<()> {
         nosys("fsync")
     }
 
@@ -269,7 +308,13 @@ pub trait FileSystem: Send + Sync {
     /// # Errors
     ///
     /// `ENOTDIR`, `ENOENT`.
-    fn opendir(&self, req: &Request, sb: &SuperBlock, ino: u64, flags: OpenFlags) -> KernelResult<u64> {
+    fn opendir(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        flags: OpenFlags,
+    ) -> KernelResult<u64> {
         Ok(0)
     }
 
@@ -278,7 +323,13 @@ pub trait FileSystem: Send + Sync {
     /// # Errors
     ///
     /// `ENOTDIR`, `ENOENT`.
-    fn readdir(&self, req: &Request, sb: &SuperBlock, ino: u64, fh: u64) -> KernelResult<Vec<DirEntry>> {
+    fn readdir(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        fh: u64,
+    ) -> KernelResult<Vec<DirEntry>> {
         nosys("readdir")
     }
 
@@ -296,7 +347,14 @@ pub trait FileSystem: Send + Sync {
     /// # Errors
     ///
     /// I/O errors propagate.
-    fn fsyncdir(&self, req: &Request, sb: &SuperBlock, ino: u64, fh: u64, datasync: bool) -> KernelResult<()> {
+    fn fsyncdir(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        fh: u64,
+        datasync: bool,
+    ) -> KernelResult<()> {
         self.fsync(req, sb, ino, fh, datasync)
     }
 
@@ -331,7 +389,12 @@ pub trait FileSystem: Send + Sync {
     ///
     /// Returning an error aborts the upgrade and leaves the old instance
     /// running.
-    fn restore_state(&self, req: &Request, sb: &SuperBlock, state: StateBundle) -> KernelResult<()> {
+    fn restore_state(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        state: StateBundle,
+    ) -> KernelResult<()> {
         nosys("restore_state")
     }
 }

@@ -1,0 +1,17 @@
+//! The kernel-environment re-exports (paper §4.9).
+//!
+//! A Bento file system sees the same API whether it runs in the kernel or
+//! in userspace.  This module is the *kernel* face: it re-exports the
+//! kernel-flavoured synchronization types from [`simkernel::sync`] and the
+//! kernel-service capability types from [`crate::bentoks`].  The userspace
+//! face is [`crate::userspace`], which provides standard-library-backed
+//! types with the identical method surface.
+//!
+//! The two faces are kept from silently diverging by the compile-time
+//! parity checks in [`crate::sync_parity`]: any method-surface drift
+//! between `bento::kernel` and `bento::userspace` sync types is a build
+//! error, not a latent port hazard.
+
+pub use simkernel::sync::{KMutex, KRwLock, Semaphore};
+
+pub use crate::bentoks::{BlockIo, BufferHead, SuperBlock};

@@ -68,6 +68,8 @@
 pub mod bentofs;
 pub mod bentoks;
 pub mod fileops;
+pub mod kernel;
+mod sync_parity;
 pub mod upgrade;
 pub mod userspace;
 

@@ -1,0 +1,107 @@
+//! Compile-time parity checks between the kernel and userspace
+//! synchronization APIs (paper §4.9).
+//!
+//! The module docs of [`simkernel::sync`] promise that `bento::kernel`
+//! re-exports the kernel-flavoured types while [`crate::userspace`]
+//! provides standard-library equivalents with the *same API*, so that a
+//! file system written against one face compiles against the other.  That
+//! promise used to be prose only; these checks make it structural: the
+//! macro below instantiates one generic exercise of the full method
+//! surface (`down`/`try_down`/`up`, `lock`/`try_lock`/`into_inner`,
+//! `read`/`write`/`into_inner`) against **both** families, so removing or
+//! renaming a method on either side is a compile error here, not a silent
+//! divergence found when porting a file system.
+
+/// Asserts (at compile time) that a semaphore/mutex/rwlock family exposes
+/// the shared kernel/userspace method surface.
+macro_rules! assert_sync_api {
+    ($family:ident, $sem:ty, $mutex:ty, $rwlock:ty) => {
+        // Never called — its body only needs to typecheck.
+        #[allow(dead_code)]
+        fn $family(sem: $sem, mutex: $mutex, rwlock: $rwlock) {
+            sem.down();
+            let _: bool = sem.try_down();
+            sem.up();
+            {
+                let guard = mutex.lock();
+                let _: &u64 = &*guard;
+            }
+            {
+                if let Some(guard) = mutex.try_lock() {
+                    let _: &u64 = &*guard;
+                }
+            }
+            let _: u64 = mutex.into_inner();
+            {
+                let read = rwlock.read();
+                let _: &u64 = &*read;
+            }
+            {
+                let mut write = rwlock.write();
+                *write += 1;
+            }
+            let _: u64 = rwlock.into_inner();
+        }
+    };
+}
+
+assert_sync_api!(
+    kernel_face,
+    crate::kernel::Semaphore,
+    crate::kernel::KMutex<u64>,
+    crate::kernel::KRwLock<u64>
+);
+
+assert_sync_api!(
+    userspace_face,
+    crate::userspace::Semaphore,
+    crate::userspace::KMutex<u64>,
+    crate::userspace::KRwLock<u64>
+);
+
+#[cfg(test)]
+mod tests {
+    /// The same generic driver runs against either face — the runtime
+    /// counterpart of the compile-time checks above.
+    macro_rules! exercise {
+        ($sem:expr, $mutex:expr, $rwlock:expr) => {{
+            let sem = $sem;
+            assert!(sem.try_down(), "one initial permit");
+            assert!(!sem.try_down(), "no second permit");
+            sem.up();
+            sem.down();
+            sem.up();
+
+            let mutex = $mutex;
+            *mutex.lock() += 41;
+            assert_eq!(mutex.into_inner(), 42u64);
+
+            let rwlock = $rwlock;
+            {
+                let a = rwlock.read();
+                let b = rwlock.read();
+                assert_eq!(*a + *b, 14);
+            }
+            *rwlock.write() += 3;
+            assert_eq!(rwlock.into_inner(), 10u64);
+        }};
+    }
+
+    #[test]
+    fn kernel_face_behaves() {
+        exercise!(
+            crate::kernel::Semaphore::new(1),
+            crate::kernel::KMutex::new(1u64),
+            crate::kernel::KRwLock::new(7u64)
+        );
+    }
+
+    #[test]
+    fn userspace_face_behaves() {
+        exercise!(
+            crate::userspace::Semaphore::new(1),
+            crate::userspace::KMutex::new(1u64),
+            crate::userspace::KRwLock::new(7u64)
+        );
+    }
+}

@@ -57,8 +57,9 @@ impl StateBundle {
     ///
     /// Returns [`Errno::Inval`] if the value cannot be serialized.
     pub fn put<T: Serialize>(&mut self, key: &str, value: &T) -> KernelResult<()> {
-        let encoded = serde_json::to_string(value)
-            .map_err(|_| KernelError::with_context(Errno::Inval, "state bundle: serialization failed"))?;
+        let encoded = serde_json::to_string(value).map_err(|_| {
+            KernelError::with_context(Errno::Inval, "state bundle: serialization failed")
+        })?;
         self.entries.insert(key.to_string(), encoded);
         Ok(())
     }
@@ -74,8 +75,9 @@ impl StateBundle {
             .entries
             .get(key)
             .ok_or_else(|| KernelError::with_context(Errno::NoEnt, "state bundle: missing key"))?;
-        serde_json::from_str(raw)
-            .map_err(|_| KernelError::with_context(Errno::Inval, "state bundle: deserialization failed"))
+        serde_json::from_str(raw).map_err(|_| {
+            KernelError::with_context(Errno::Inval, "state bundle: deserialization failed")
+        })
     }
 
     /// Like [`StateBundle::get`] but returns `None` for a missing key (still

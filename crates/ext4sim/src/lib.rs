@@ -192,8 +192,9 @@ impl Ext4Sim {
             raw.extend_from_slice(&buf[..take]);
             block += 1;
         }
-        serde_json::from_slice(&raw)
-            .map_err(|_| KernelError::with_context(Errno::Inval, "ext4sim: corrupt metadata checkpoint"))
+        serde_json::from_slice(&raw).map_err(|_| {
+            KernelError::with_context(Errno::Inval, "ext4sim: corrupt metadata checkpoint")
+        })
     }
 
     fn checkpoint_metadata(&self) -> KernelResult<()> {
@@ -324,7 +325,8 @@ impl VfsFs for Ext4Sim {
             }
             if size < inode.size {
                 let first_invalid = size.div_ceil(PAGE_SIZE as u64);
-                let freed: Vec<u64> = inode.blocks.range(first_invalid..).map(|(_, b)| *b).collect();
+                let freed: Vec<u64> =
+                    inode.blocks.range(first_invalid..).map(|(_, b)| *b).collect();
                 inode.blocks.retain(|page, _| *page < first_invalid);
                 meta.free_blocks.extend(freed);
             }
@@ -433,9 +435,11 @@ impl VfsFs for Ext4Sim {
             *parent.entries.get(oldname).ok_or(KernelError::new(Errno::NoEnt))?
         };
         // Replace target if present.
-        if let Some(target) = meta.inodes.get(&newdir).and_then(|p| p.entries.get(newname)).copied() {
+        if let Some(target) = meta.inodes.get(&newdir).and_then(|p| p.entries.get(newname)).copied()
+        {
             if target != src {
-                let target_inode = meta.inodes.get(&target).ok_or(KernelError::new(Errno::NoEnt))?;
+                let target_inode =
+                    meta.inodes.get(&target).ok_or(KernelError::new(Errno::NoEnt))?;
                 if target_inode.is_dir() && !target_inode.entries.is_empty() {
                     return Err(KernelError::new(Errno::NotEmpty));
                 }
@@ -527,11 +531,23 @@ impl VfsFs for Ext4Sim {
         Ok(valid)
     }
 
-    fn write_page(&self, ino: u64, page_index: u64, data: &[u8], file_size: u64) -> KernelResult<()> {
+    fn write_page(
+        &self,
+        ino: u64,
+        page_index: u64,
+        data: &[u8],
+        file_size: u64,
+    ) -> KernelResult<()> {
         self.write_pages(ino, page_index, &[data], file_size)
     }
 
-    fn write_pages(&self, ino: u64, start_page: u64, pages: &[&[u8]], file_size: u64) -> KernelResult<()> {
+    fn write_pages(
+        &self,
+        ino: u64,
+        start_page: u64,
+        pages: &[&[u8]],
+        file_size: u64,
+    ) -> KernelResult<()> {
         // Allocate (or reuse) a block per page, queue the data into the
         // running journal transaction (data=journal).
         let mut queued = Vec::with_capacity(pages.len());
@@ -542,7 +558,13 @@ impl VfsFs for Ext4Sim {
                 if page_index * PAGE_SIZE as u64 >= file_size {
                     break;
                 }
-                let block = match meta.inodes.get(&ino).ok_or(KernelError::new(Errno::NoEnt))?.blocks.get(&page_index) {
+                let block = match meta
+                    .inodes
+                    .get(&ino)
+                    .ok_or(KernelError::new(Errno::NoEnt))?
+                    .blocks
+                    .get(&page_index)
+                {
                     Some(b) => *b,
                     None => {
                         let b = self.alloc_block(&mut meta)?;
@@ -551,7 +573,8 @@ impl VfsFs for Ext4Sim {
                     }
                 };
                 let mut full = vec![0u8; PAGE_SIZE];
-                full[..page.len().min(PAGE_SIZE)].copy_from_slice(&page[..page.len().min(PAGE_SIZE)]);
+                full[..page.len().min(PAGE_SIZE)]
+                    .copy_from_slice(&page[..page.len().min(PAGE_SIZE)]);
                 queued.push((block, full));
             }
             let inode = meta.inodes.get_mut(&ino).ok_or(KernelError::new(Errno::NoEnt))?;
@@ -576,7 +599,8 @@ impl VfsFs for Ext4Sim {
     fn statfs(&self) -> KernelResult<StatFs> {
         let meta = self.meta.read();
         let total = self.dev.num_blocks() - self.data_start;
-        let used = (meta.next_block - self.data_start).saturating_sub(meta.free_blocks.len() as u64);
+        let used =
+            (meta.next_block - self.data_start).saturating_sub(meta.free_blocks.len() as u64);
         Ok(StatFs {
             total_blocks: total,
             free_blocks: total.saturating_sub(used),

@@ -108,11 +108,14 @@ pub enum FuseReply {
 
 type ReplySlot = Sender<KernelResult<FuseReply>>;
 
+/// A queued request paired with its reply channel.
+type QueuedRequest = (FuseRequest, ReplySlot);
+
 /// The userspace daemon: worker threads dispatching requests to a Bento
 /// [`FileSystem`] running against userspace services.
 pub struct FuseDaemon {
     workers: Vec<JoinHandle<()>>,
-    queue: Sender<(FuseRequest, ReplySlot)>,
+    queue: Sender<QueuedRequest>,
 }
 
 impl std::fmt::Debug for FuseDaemon {
@@ -129,9 +132,8 @@ impl FuseDaemon {
         fs: Arc<dyn FileSystem>,
         sb: Arc<SuperBlock>,
         workers: usize,
-    ) -> (Self, Sender<(FuseRequest, ReplySlot)>) {
-        let (tx, rx): (Sender<(FuseRequest, ReplySlot)>, Receiver<(FuseRequest, ReplySlot)>) =
-            unbounded();
+    ) -> (Self, Sender<QueuedRequest>) {
+        let (tx, rx): (Sender<QueuedRequest>, Receiver<QueuedRequest>) = unbounded();
         let mut handles = Vec::new();
         for _ in 0..workers.max(1) {
             let rx = rx.clone();
@@ -191,8 +193,12 @@ fn dispatch(
         FuseRequest::Mkdir(parent, name, mode) => {
             fs.mkdir(req, sb, parent, &name, mode).map(FuseReply::Attr)
         }
-        FuseRequest::Unlink(parent, name) => fs.unlink(req, sb, parent, &name).map(|()| FuseReply::Ok),
-        FuseRequest::Rmdir(parent, name) => fs.rmdir(req, sb, parent, &name).map(|()| FuseReply::Ok),
+        FuseRequest::Unlink(parent, name) => {
+            fs.unlink(req, sb, parent, &name).map(|()| FuseReply::Ok)
+        }
+        FuseRequest::Rmdir(parent, name) => {
+            fs.rmdir(req, sb, parent, &name).map(|()| FuseReply::Ok)
+        }
         FuseRequest::Rename(parent, name, newparent, newname) => {
             fs.rename(req, sb, parent, &name, newparent, &newname).map(|()| FuseReply::Ok)
         }
@@ -209,7 +215,9 @@ fn dispatch(
         FuseRequest::Write(ino, offset, data) => {
             fs.write(req, sb, ino, 0, offset, &data).map(FuseReply::Written)
         }
-        FuseRequest::Fsync(ino, datasync) => fs.fsync(req, sb, ino, 0, datasync).map(|()| FuseReply::Ok),
+        FuseRequest::Fsync(ino, datasync) => {
+            fs.fsync(req, sb, ino, 0, datasync).map(|()| FuseReply::Ok)
+        }
         FuseRequest::Readdir(ino) => fs.readdir(req, sb, ino, 0).map(FuseReply::Entries),
         FuseRequest::Statfs => fs.statfs(req, sb).map(FuseReply::Statfs),
         FuseRequest::Destroy => fs.destroy(req, sb).map(|()| FuseReply::Ok),
@@ -221,7 +229,7 @@ fn dispatch(
 /// trips through the request queue to the userspace daemon.
 pub struct FuseKernelDriver {
     name: String,
-    queue: Sender<(FuseRequest, ReplySlot)>,
+    queue: Sender<QueuedRequest>,
     daemon: Mutex<FuseDaemon>,
     model: CostModel,
     counters: Arc<CostCounters>,
@@ -320,7 +328,9 @@ impl VfsFs for FuseKernelDriver {
     }
 
     fn link(&self, ino: u64, newdir: u64, newname: &str) -> KernelResult<InodeAttr> {
-        Self::expect_attr(self.call(newname.len(), FuseRequest::Link(ino, newdir, newname.to_string()))?)
+        Self::expect_attr(
+            self.call(newname.len(), FuseRequest::Link(ino, newdir, newname.to_string()))?,
+        )
     }
 
     fn open(&self, ino: u64, flags: OpenFlags) -> KernelResult<u64> {
@@ -343,7 +353,9 @@ impl VfsFs for FuseKernelDriver {
 
     fn read_page(&self, ino: u64, page_index: u64, buf: &mut [u8]) -> KernelResult<usize> {
         let size = buf.len().min(PAGE_SIZE) as u32;
-        match self.call(size as usize, FuseRequest::Read(ino, page_index * PAGE_SIZE as u64, size))? {
+        match self
+            .call(size as usize, FuseRequest::Read(ino, page_index * PAGE_SIZE as u64, size))?
+        {
             FuseReply::Data(data) => {
                 let n = data.len().min(buf.len());
                 buf[..n].copy_from_slice(&data[..n]);
@@ -353,7 +365,13 @@ impl VfsFs for FuseKernelDriver {
         }
     }
 
-    fn write_page(&self, ino: u64, page_index: u64, data: &[u8], file_size: u64) -> KernelResult<()> {
+    fn write_page(
+        &self,
+        ino: u64,
+        page_index: u64,
+        data: &[u8],
+        file_size: u64,
+    ) -> KernelResult<()> {
         let offset = page_index * PAGE_SIZE as u64;
         if offset >= file_size {
             return Ok(());
@@ -366,7 +384,13 @@ impl VfsFs for FuseKernelDriver {
         }
     }
 
-    fn write_pages(&self, ino: u64, start_page: u64, pages: &[&[u8]], file_size: u64) -> KernelResult<()> {
+    fn write_pages(
+        &self,
+        ino: u64,
+        start_page: u64,
+        pages: &[&[u8]],
+        file_size: u64,
+    ) -> KernelResult<()> {
         // The FUSE writeback cache sends large WRITE requests, capped at
         // FUSE_MAX_WRITE bytes each.
         let offset = start_page * PAGE_SIZE as u64;

@@ -21,6 +21,7 @@ use parking_lot::{ArcMutexGuard, Mutex, RawMutex};
 
 use crate::dev::BlockDevice;
 use crate::error::{Errno, KernelError, KernelResult};
+use crate::shard::{ShardedMap, StripedCounter};
 
 /// Data and state attached to one cached block.
 #[derive(Debug)]
@@ -44,14 +45,25 @@ struct Buffer {
 /// The cache holds at most `capacity` buffers; buffers that are neither
 /// locked nor dirty are evicted least-recently-used first when the cache is
 /// full.
+///
+/// The block → buffer map is sharded ([`ShardedMap`]): concurrent `bread`
+/// of *different* blocks contend only when the blocks hash to the same
+/// shard, so the paper's multi-threaded workloads are not serialized on one
+/// map lock.  Capacity is enforced per shard (`capacity / shards`, like the
+/// per-bucket capacity of a hardware set-associative cache), which keeps
+/// eviction a shard-local operation.
 pub struct BufferCache {
     dev: Arc<dyn BlockDevice>,
     capacity: usize,
+    shard_capacity: usize,
     block_size: usize,
-    map: Mutex<HashMap<u64, Arc<Buffer>>>,
+    map: ShardedMap<u64, Arc<Buffer>>,
+    /// Logical clock for LRU ordering.  Deliberately a single atomic (not
+    /// striped): eviction compares ticks, so they must be totally ordered,
+    /// and one relaxed `fetch_add` is far cheaper than the map lock was.
     tick: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: StripedCounter,
+    misses: StripedCounter,
 }
 
 impl std::fmt::Debug for BufferCache {
@@ -59,7 +71,7 @@ impl std::fmt::Debug for BufferCache {
         f.debug_struct("BufferCache")
             .field("capacity", &self.capacity)
             .field("block_size", &self.block_size)
-            .field("cached", &self.map.lock().len())
+            .field("cached", &self.map.len())
             .finish_non_exhaustive()
     }
 }
@@ -76,23 +88,50 @@ pub struct BufferCacheStats {
 }
 
 impl BufferCache {
-    /// Creates a buffer cache over `dev` holding at most `capacity` blocks.
+    /// Creates a buffer cache over `dev` holding at most `capacity` blocks,
+    /// with the default shard count.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(dev: Arc<dyn BlockDevice>, capacity: usize) -> Self {
+        BufferCache::with_shards(dev, capacity, 0)
+    }
+
+    /// Creates a buffer cache with an explicit shard count (`0` = default).
+    ///
+    /// The shard count is rounded to a power of two and clamped so that
+    /// every shard owns at least one capacity slot; a single-sharded cache
+    /// (`shards = 1`) behaves exactly like the old globally locked cache,
+    /// including strict global LRU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_shards(dev: Arc<dyn BlockDevice>, capacity: usize, shards: usize) -> Self {
         assert!(capacity > 0, "buffer cache capacity must be nonzero");
         let block_size = dev.block_size() as usize;
+        // Largest power of two ≤ capacity, so shards * shard_capacity never
+        // exceeds the requested capacity.
+        let max_shards = 1usize << (usize::BITS - 1 - capacity.leading_zeros());
+        let shard_count = crate::shard::resolve_shards(shards).min(max_shards);
+        let map = ShardedMap::new(shard_count);
+        let shard_capacity = (capacity / map.shard_count()).max(1);
         BufferCache {
             dev,
             capacity,
+            shard_capacity,
             block_size,
-            map: Mutex::new(HashMap::new()),
+            map,
             tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: StripedCounter::new(shard_count),
+            misses: StripedCounter::new(shard_count),
         }
+    }
+
+    /// Number of shards in the block map.
+    pub fn shard_count(&self) -> usize {
+        self.map.shard_count()
     }
 
     /// The underlying block device.
@@ -123,9 +162,9 @@ impl BufferCache {
         if !guard.valid {
             self.dev.read_block(blockno, &mut guard.bytes)?;
             guard.valid = true;
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
         } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         }
         Ok(BufferGuard { blockno, guard, dev: Arc::clone(&self.dev) })
     }
@@ -151,10 +190,9 @@ impl BufferCache {
     }
 
     /// Drops every cached buffer that is clean and unlocked.  Used by tests
-    /// and by unmount to simulate a cold cache.
+    /// and by unmount to simulate a cold cache.  Sweeps one shard at a time.
     pub fn invalidate_clean(&self) {
-        let mut map = self.map.lock();
-        map.retain(|_, buf| {
+        self.map.retain(|_, buf| {
             if Arc::strong_count(buf) > 1 {
                 return true;
             }
@@ -168,9 +206,9 @@ impl BufferCache {
     /// Returns hit/miss statistics.
     pub fn stats(&self) -> BufferCacheStats {
         BufferCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            cached: self.map.lock().len(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            cached: self.map.len(),
         }
     }
 
@@ -185,30 +223,35 @@ impl BufferCache {
 
     fn get_or_insert(&self, blockno: u64) -> Arc<Buffer> {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.lock();
-        if let Some(buf) = map.get(&blockno) {
-            buf.last_used.store(tick, Ordering::Relaxed);
-            return Arc::clone(buf);
-        }
-        if map.len() >= self.capacity {
-            self.evict_one(&mut map);
-        }
-        let buf = Arc::new(Buffer {
-            data: Arc::new(Mutex::new(BufferData {
-                bytes: vec![0u8; self.block_size],
-                valid: false,
-                dirty: false,
-            })),
-            last_used: AtomicU64::new(tick),
-        });
-        map.insert(blockno, Arc::clone(&buf));
-        buf
+        // The whole lookup / evict / insert runs under the write lock of the
+        // one shard owning `blockno`; breads of blocks in other shards
+        // proceed concurrently.
+        self.map.with_shard_mut(&blockno, |shard| {
+            if let Some(buf) = shard.get(&blockno) {
+                buf.last_used.store(tick, Ordering::Relaxed);
+                return Arc::clone(buf);
+            }
+            if shard.len() >= self.shard_capacity {
+                Self::evict_one(shard);
+            }
+            let buf = Arc::new(Buffer {
+                data: Arc::new(Mutex::new(BufferData {
+                    bytes: vec![0u8; self.block_size],
+                    valid: false,
+                    dirty: false,
+                })),
+                last_used: AtomicU64::new(tick),
+            });
+            shard.insert(blockno, Arc::clone(&buf));
+            buf
+        })
     }
 
-    /// Evicts the least recently used buffer that is unlocked and clean.
-    /// If every buffer is busy the cache is allowed to grow past `capacity`
-    /// (the kernel would sleep; growing keeps the simulation deadlock-free).
-    fn evict_one(&self, map: &mut HashMap<u64, Arc<Buffer>>) {
+    /// Evicts the least recently used buffer of one shard that is unlocked
+    /// and clean.  If every buffer is busy the shard is allowed to grow past
+    /// its capacity share (the kernel would sleep; growing keeps the
+    /// simulation deadlock-free).
+    fn evict_one(map: &mut HashMap<u64, Arc<Buffer>>) {
         let mut victim: Option<(u64, u64)> = None;
         for (blockno, buf) in map.iter() {
             if Arc::strong_count(buf) > 1 {
@@ -222,7 +265,7 @@ impl BufferCache {
                 continue;
             }
             let used = buf.last_used.load(Ordering::Relaxed);
-            if victim.map_or(true, |(_, best)| used < best) {
+            if victim.is_none_or(|(_, best)| used < best) {
                 victim = Some((*blockno, used));
             }
         }
@@ -300,6 +343,13 @@ mod tests {
         BufferCache::new(Arc::new(RamDisk::new(4096, blocks)), capacity)
     }
 
+    /// A single-sharded cache: behaves like the old globally locked cache,
+    /// including strict global LRU — used by the tests that assert exact
+    /// eviction order.
+    fn cache1(blocks: u64, capacity: usize) -> BufferCache {
+        BufferCache::with_shards(Arc::new(RamDisk::new(4096, blocks)), capacity, 1)
+    }
+
     #[test]
     fn bread_reads_device_once_then_hits_cache() {
         let c = cache(32, 8);
@@ -359,7 +409,7 @@ mod tests {
 
     #[test]
     fn eviction_prefers_clean_unlocked_lru() {
-        let c = cache(64, 2);
+        let c = cache1(64, 2);
         {
             let mut b0 = c.bread(0).unwrap();
             b0.data_mut()[0] = 1;
@@ -382,7 +432,7 @@ mod tests {
 
     #[test]
     fn dirty_buffers_are_not_evicted() {
-        let c = cache(64, 2);
+        let c = cache1(64, 2);
         {
             let mut b0 = c.bread(0).unwrap();
             b0.data_mut()[0] = 0xAA; // dirty, never written
@@ -424,6 +474,51 @@ mod tests {
         let b = c.bread(0).unwrap();
         let v = u64::from_le_bytes(b.data()[..8].try_into().unwrap());
         assert_eq!(v, 800, "exclusive buffer lock must make increments atomic");
+    }
+
+    #[test]
+    fn sharded_cache_respects_total_capacity() {
+        // Fill a sharded cache far past its capacity with clean blocks: the
+        // per-shard eviction must keep the total at (or below) capacity.
+        let c = cache(4096, 64);
+        assert!(c.shard_count() > 1, "default cache should be sharded");
+        for blockno in 0..1024u64 {
+            let mut b = c.bread(blockno).unwrap();
+            b.data_mut()[0] = blockno as u8;
+            b.write().unwrap();
+        }
+        assert!(
+            c.stats().cached <= 64,
+            "sharded eviction must bound the cache: {} > 64",
+            c.stats().cached
+        );
+    }
+
+    #[test]
+    fn concurrent_breads_of_disjoint_blocks_make_progress() {
+        use std::thread;
+        let c = Arc::new(cache(4096, 1024));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || {
+                // Each thread owns a disjoint range of blocks.
+                for round in 0..50u64 {
+                    for i in 0..16u64 {
+                        let blockno = t * 256 + i;
+                        let mut b = c.bread(blockno).unwrap();
+                        let v = u64::from_le_bytes(b.data()[..8].try_into().unwrap());
+                        assert_eq!(v, round, "block {blockno} must see its own writes");
+                        b.data_mut()[..8].copy_from_slice(&(round + 1).to_le_bytes());
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = c.stats();
+        assert!(stats.hits > 0 && stats.misses >= 8 * 16);
     }
 
     #[test]

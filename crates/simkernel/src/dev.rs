@@ -544,7 +544,11 @@ mod tests {
     #[test]
     fn fault_injector_drop_writes_keeps_old_data() {
         let inner = Arc::new(RamDisk::new(4096, 16));
-        let dev = FaultInjectingDevice::new(Arc::clone(&inner) as Arc<dyn BlockDevice>, FaultMode::DropWrites, 1);
+        let dev = FaultInjectingDevice::new(
+            Arc::clone(&inner) as Arc<dyn BlockDevice>,
+            FaultMode::DropWrites,
+            1,
+        );
         dev.write_block(0, &pattern(1)).unwrap();
         dev.write_block(0, &pattern(2)).unwrap(); // dropped (budget exhausted)
         assert!(dev.tripped());

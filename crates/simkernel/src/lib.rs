@@ -29,6 +29,10 @@
 //! * [`cost`] — the latency/cost model shared by the devices and the FUSE
 //!   simulation, with a zero-cost preset for tests and an NVMe preset for the
 //!   paper's experiments.
+//! * [`shard`] — the sharded concurrency substrate ([`shard::ShardedMap`],
+//!   [`shard::StripedCounter`]) under the buffer cache, page cache, and fd
+//!   table, so the paper's 32-thread workloads do not serialize on global
+//!   map locks.
 //! * [`sync`] — kernel-flavoured synchronization wrappers.
 //!
 //! The crate is intentionally free of `unsafe` code.
@@ -56,6 +60,7 @@ pub mod dev;
 pub mod error;
 pub mod memfs;
 pub mod pagecache;
+pub mod shard;
 pub mod sync;
 pub mod vfs;
 

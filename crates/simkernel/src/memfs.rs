@@ -31,7 +31,13 @@ struct MemInode {
 
 impl MemInode {
     fn new_file(perm: u16) -> Self {
-        MemInode { kind: FileType::Regular, perm, nlink: 1, data: Vec::new(), entries: BTreeMap::new() }
+        MemInode {
+            kind: FileType::Regular,
+            perm,
+            nlink: 1,
+            data: Vec::new(),
+            entries: BTreeMap::new(),
+        }
     }
 
     fn new_dir(perm: u16) -> Self {
@@ -219,10 +225,9 @@ impl VfsFs for MemFs {
         let src_ino = {
             let dir_arc = self.inode(olddir)?;
             let dir_inode = dir_arc.lock();
-            *dir_inode
-                .entries
-                .get(oldname)
-                .ok_or_else(|| KernelError::with_context(Errno::NoEnt, "memfs: rename source missing"))?
+            *dir_inode.entries.get(oldname).ok_or_else(|| {
+                KernelError::with_context(Errno::NoEnt, "memfs: rename source missing")
+            })?
         };
         // If a target exists, it must be removable (file or empty dir).
         let existing_target = {
@@ -320,7 +325,13 @@ impl VfsFs for MemFs {
         Ok(n)
     }
 
-    fn write_page(&self, ino: u64, page_index: u64, data: &[u8], file_size: u64) -> KernelResult<()> {
+    fn write_page(
+        &self,
+        ino: u64,
+        page_index: u64,
+        data: &[u8],
+        file_size: u64,
+    ) -> KernelResult<()> {
         let arc = self.inode(ino)?;
         let mut inode = arc.lock();
         if inode.kind != FileType::Regular {

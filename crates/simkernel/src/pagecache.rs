@@ -18,12 +18,13 @@
 //! memcpy-bound), and a writeback routine that batches contiguous dirty
 //! runs when the file system supports it.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
 use crate::error::KernelResult;
+use crate::shard::{ShardedMap, StripedCounter};
 use crate::vfs::{VfsFs, PAGE_SIZE};
 
 /// Maximum number of pages handed to a single `write_pages` call
@@ -67,11 +68,15 @@ pub struct PageCacheConfig {
     /// Soft cap on total cached pages per file; clean pages beyond the cap
     /// are dropped after writeback.
     pub max_cached_pages_per_file: usize,
+    /// Shards for the per-file page table and stripes for the statistics
+    /// counters (`0` = default).  `read_at`/`write_at` on distinct inodes
+    /// only contend when the inodes hash to the same shard.
+    pub shards: usize,
 }
 
 impl Default for PageCacheConfig {
     fn default() -> Self {
-        PageCacheConfig { dirty_threshold_pages: 512, max_cached_pages_per_file: 65_536 }
+        PageCacheConfig { dirty_threshold_pages: 512, max_cached_pages_per_file: 65_536, shards: 0 }
     }
 }
 
@@ -90,11 +95,40 @@ pub struct PageCacheStats {
     pub writeback_batches: u64,
 }
 
+/// Hot-path counters, striped so concurrent readers/writers on different
+/// files do not bounce one statistics cache line (see
+/// [`StripedCounter`]).
+#[derive(Debug)]
+struct StripedStats {
+    read_hits: StripedCounter,
+    read_fills: StripedCounter,
+    writeback_single: StripedCounter,
+    writeback_batched: StripedCounter,
+    writeback_batches: StripedCounter,
+}
+
+impl StripedStats {
+    fn new(stripes: usize) -> Self {
+        StripedStats {
+            read_hits: StripedCounter::new(stripes),
+            read_fills: StripedCounter::new(stripes),
+            writeback_single: StripedCounter::new(stripes),
+            writeback_batched: StripedCounter::new(stripes),
+            writeback_batches: StripedCounter::new(stripes),
+        }
+    }
+}
+
 /// A write-back page cache covering every file of one mounted file system.
+///
+/// The inode → pages table is sharded ([`ShardedMap`]), so reads and writes
+/// of *different* files take different locks; per-file state stays under
+/// one `Mutex` per file, which is what serializes same-file access (as the
+/// kernel's per-address-space locks do).
 pub struct PageCache {
     config: PageCacheConfig,
-    files: RwLock<HashMap<u64, Arc<Mutex<FilePages>>>>,
-    stats: Mutex<PageCacheStats>,
+    files: ShardedMap<u64, Arc<Mutex<FilePages>>>,
+    stats: StripedStats,
     /// Whether writeback should use the batched `write_pages` path.
     batch_writeback: bool,
 }
@@ -103,7 +137,7 @@ impl std::fmt::Debug for PageCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PageCache")
             .field("config", &self.config)
-            .field("files", &self.files.read().len())
+            .field("files", &self.files.len())
             .field("batch_writeback", &self.batch_writeback)
             .finish_non_exhaustive()
     }
@@ -113,17 +147,24 @@ impl PageCache {
     /// Creates a page cache.  `batch_writeback` selects the `write_pages`
     /// (batched) writeback path; the VFS baseline passes `false`.
     pub fn new(config: PageCacheConfig, batch_writeback: bool) -> Self {
+        let shards = config.shards;
         PageCache {
             config,
-            files: RwLock::new(HashMap::new()),
-            stats: Mutex::new(PageCacheStats::default()),
+            files: ShardedMap::new(shards),
+            stats: StripedStats::new(shards),
             batch_writeback,
         }
     }
 
     /// Returns accumulated statistics.
     pub fn stats(&self) -> PageCacheStats {
-        *self.stats.lock()
+        PageCacheStats {
+            read_hits: self.stats.read_hits.get(),
+            read_fills: self.stats.read_fills.get(),
+            writeback_single: self.stats.writeback_single.get(),
+            writeback_batched: self.stats.writeback_batched.get(),
+            writeback_batches: self.stats.writeback_batches.get(),
+        }
     }
 
     /// Whether batched writeback is enabled.
@@ -132,11 +173,7 @@ impl PageCache {
     }
 
     fn file(&self, ino: u64) -> Arc<Mutex<FilePages>> {
-        if let Some(f) = self.files.read().get(&ino) {
-            return Arc::clone(f);
-        }
-        let mut files = self.files.write();
-        Arc::clone(files.entry(ino).or_insert_with(|| Arc::new(Mutex::new(FilePages::new()))))
+        self.files.get_or_insert_with(ino, || Arc::new(Mutex::new(FilePages::new())))
     }
 
     fn load_size(&self, fs: &Arc<dyn VfsFs>, ino: u64, fp: &mut FilePages) -> KernelResult<()> {
@@ -177,7 +214,7 @@ impl PageCache {
                 }
             }
         }
-        if size % PAGE_SIZE as u64 != 0 {
+        if !size.is_multiple_of(PAGE_SIZE as u64) {
             let last_page = size / PAGE_SIZE as u64;
             let keep = (size % PAGE_SIZE as u64) as usize;
             if let Some(p) = fp.pages.get_mut(&last_page) {
@@ -213,14 +250,14 @@ impl PageCache {
             let page_idx = pos / PAGE_SIZE as u64;
             let page_off = (pos % PAGE_SIZE as u64) as usize;
             let chunk = (PAGE_SIZE - page_off).min(to_read - done);
-            if !fp.pages.contains_key(&page_idx) {
+            if let std::collections::btree_map::Entry::Vacant(e) = fp.pages.entry(page_idx) {
                 let mut page = Page::new_zeroed();
                 let filled = fs.read_page(ino, page_idx, &mut page.data)?;
                 debug_assert!(filled <= PAGE_SIZE);
-                fp.pages.insert(page_idx, page);
-                self.stats.lock().read_fills += 1;
+                e.insert(page);
+                self.stats.read_fills.inc();
             } else {
-                self.stats.lock().read_hits += chunk as u64;
+                self.stats.read_hits.add(chunk as u64);
             }
             let page = fp.pages.get(&page_idx).expect("page just ensured");
             buf[done..done + chunk].copy_from_slice(&page.data[page_off..page_off + chunk]);
@@ -264,7 +301,7 @@ impl PageCache {
                 let mut page = Page::new_zeroed();
                 fs.read_page(ino, page_idx, &mut page.data)?;
                 fp.pages.insert(page_idx, page);
-                self.stats.lock().read_fills += 1;
+                self.stats.read_fills.inc();
             }
             let page = fp.pages.entry(page_idx).or_insert_with(Page::new_zeroed);
             page.data[page_off..page_off + chunk].copy_from_slice(&data[done..done + chunk]);
@@ -321,16 +358,15 @@ impl PageCache {
                     .map(|idx| &*fp.pages.get(idx).expect("dirty page present").data)
                     .collect();
                 fs.write_pages(ino, dirty_indexes[run_start], &batch, size)?;
-                let mut stats = self.stats.lock();
-                stats.writeback_batched += batch.len() as u64;
-                stats.writeback_batches += 1;
+                self.stats.writeback_batched.add(batch.len() as u64);
+                self.stats.writeback_batches.inc();
                 run_start = run_end;
             }
         } else {
             for idx in &dirty_indexes {
                 let page = fp.pages.get(idx).expect("dirty page present");
                 fs.write_page(ino, *idx, &page.data, size)?;
-                self.stats.lock().writeback_single += 1;
+                self.stats.writeback_single.inc();
             }
         }
         for idx in dirty_indexes {
@@ -358,7 +394,7 @@ impl PageCache {
     ///
     /// Propagates file system write errors.
     pub fn writeback_all(&self, fs: &Arc<dyn VfsFs>) -> KernelResult<()> {
-        let inos: Vec<u64> = self.files.read().keys().copied().collect();
+        let inos: Vec<u64> = self.files.keys();
         for ino in inos {
             self.writeback(fs, ino)?;
         }
@@ -367,18 +403,19 @@ impl PageCache {
 
     /// Drops all cached pages of `ino` (used after unlink of the last link).
     pub fn invalidate(&self, ino: u64) {
-        self.files.write().remove(&ino);
+        self.files.remove(&ino);
     }
 
     /// Drops the whole cache (used at unmount, after writeback).
     pub fn invalidate_all(&self) {
-        self.files.write().clear();
+        self.files.clear();
     }
 
     /// Total dirty pages across all files (diagnostics).
     pub fn dirty_pages(&self) -> usize {
-        let files = self.files.read();
-        files.values().map(|f| f.lock().dirty_count).sum()
+        let mut dirty = 0usize;
+        self.files.for_each(|_, f| dirty += f.lock().dirty_count);
+        dirty
     }
 }
 
@@ -398,6 +435,7 @@ mod tests {
     }
 
     impl MemFs {
+        #[allow(clippy::new_ret_no_self)]
         fn new() -> Arc<dyn VfsFs> {
             Arc::new(MemFs {
                 files: PlMutex::new(Map::from([(2u64, Vec::new())])),

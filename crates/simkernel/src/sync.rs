@@ -4,9 +4,14 @@
 //! read/write semaphores) to Rust file systems behind safe wrappers.  In the
 //! simulated kernel these are thin newtypes over `parking_lot` primitives;
 //! the point of keeping distinct types is that `bento::kernel` re-exports
-//! *these* (the "kernel" versions) while `bento::userspace` re-exports the
-//! standard-library equivalents, mirroring the paper's §4.9 "same API in
-//! kernel and userspace" design.
+//! *these* (the "kernel" versions) while `bento::userspace` provides
+//! standard-library equivalents with the identical method surface,
+//! mirroring the paper's §4.9 "same API in kernel and userspace" design.
+//!
+//! That mirroring is enforced, not just promised: `bento::sync_parity`
+//! instantiates one generic exercise of the full method surface against
+//! both faces, so renaming or removing a method here (or on the userspace
+//! side) fails the `bento` build instead of silently diverging.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -14,6 +14,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::dev::BlockDevice;
 use crate::error::{err, Errno, KernelError, KernelResult};
 use crate::pagecache::{PageCache, PageCacheConfig, PageCacheStats};
+use crate::shard::ShardedMap;
 use crate::sync::IdGenerator;
 use crate::vfs::{
     DirEntry, FileMode, FileType, FilesystemType, InodeAttr, MountOptions, OpenFlags, SetAttr,
@@ -27,6 +28,10 @@ pub struct VfsConfig {
     pub page_cache: PageCacheConfig,
     /// Maximum number of simultaneously open file descriptors (0 = unlimited).
     pub max_open_files: usize,
+    /// Shard count for the fd table and (unless overridden by
+    /// `page_cache.shards`) each mount's page cache (`0` = default).
+    /// Rounded up to a power of two.
+    pub shard_count: usize,
 }
 
 /// Whence values for [`Vfs::lseek`].
@@ -90,9 +95,17 @@ struct OpenFile {
 /// ```
 pub struct Vfs {
     config: VfsConfig,
+    /// Registered mountable types.  Read-mostly: written at registration,
+    /// read at mount time only.
     fstypes: RwLock<HashMap<String, Arc<dyn FilesystemType>>>,
-    mounts: RwLock<Vec<Arc<Mount>>>,
-    fds: RwLock<HashMap<u64, Arc<OpenFile>>>,
+    /// Mount table, kept as an immutable snapshot behind the lock so the
+    /// per-syscall `find_mount` clones one `Arc` instead of holding the
+    /// lock while walking mounts (read-mostly: only (un)mount writes).
+    mounts: RwLock<Arc<Vec<Arc<Mount>>>>,
+    /// The fd table, sharded: syscalls on different descriptors only
+    /// contend when the fds hash to the same shard.  Allocation is an
+    /// atomic counter ([`IdGenerator`]), not a table scan.
+    fds: ShardedMap<u64, Arc<OpenFile>>,
     fd_gen: IdGenerator,
     mount_gen: IdGenerator,
 }
@@ -101,7 +114,7 @@ impl std::fmt::Debug for Vfs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Vfs")
             .field("mounts", &self.mounts.read().len())
-            .field("open_fds", &self.fds.read().len())
+            .field("open_fds", &self.fds.len())
             .finish_non_exhaustive()
     }
 }
@@ -115,11 +128,12 @@ impl Default for Vfs {
 impl Vfs {
     /// Creates an empty VFS (no registered file systems, no mounts).
     pub fn new(config: VfsConfig) -> Self {
+        let fds = ShardedMap::new(config.shard_count);
         Vfs {
             config,
             fstypes: RwLock::new(HashMap::new()),
-            mounts: RwLock::new(Vec::new()),
-            fds: RwLock::new(HashMap::new()),
+            mounts: RwLock::new(Arc::new(Vec::new())),
+            fds,
             fd_gen: IdGenerator::new(3),
             mount_gen: IdGenerator::new(1),
         }
@@ -136,7 +150,10 @@ impl Vfs {
         let mut types = self.fstypes.write();
         let name = fstype.fs_name().to_string();
         if types.contains_key(&name) {
-            return Err(KernelError::with_context(Errno::Exist, "filesystem type already registered"));
+            return Err(KernelError::with_context(
+                Errno::Exist,
+                "filesystem type already registered",
+            ));
         }
         types.insert(name, fstype);
         Ok(())
@@ -172,12 +189,10 @@ impl Vfs {
         mountpoint: &str,
         options: &MountOptions,
     ) -> KernelResult<u64> {
-        let fstype = self
-            .fstypes
-            .read()
-            .get(fstype)
-            .cloned()
-            .ok_or_else(|| KernelError::with_context(Errno::NoEnt, "unknown filesystem type"))?;
+        let fstype =
+            self.fstypes.read().get(fstype).cloned().ok_or_else(|| {
+                KernelError::with_context(Errno::NoEnt, "unknown filesystem type")
+            })?;
         let fs = fstype.mount(device, options)?;
         self.mount_fs(fs, mountpoint)
     }
@@ -199,15 +214,19 @@ impl Vfs {
         }
         let id = self.mount_gen.next_id();
         let batch = fs.supports_writepages();
-        let mount = Arc::new(Mount {
-            id,
-            path,
-            fs,
-            page_cache: PageCache::new(self.config.page_cache.clone(), batch),
-        });
-        mounts.push(mount);
-        // Longest path first so that prefix matching picks the innermost mount.
-        mounts.sort_by(|a, b| b.path.len().cmp(&a.path.len()));
+        let mut page_cache = self.config.page_cache.clone();
+        if page_cache.shards == 0 {
+            page_cache.shards = self.config.shard_count;
+        }
+        let mount = Arc::new(Mount { id, path, fs, page_cache: PageCache::new(page_cache, batch) });
+        // The mount table is an immutable snapshot: build the successor
+        // vector and swap it in, so readers never hold the lock while
+        // resolving paths.  Longest path first so that prefix matching picks
+        // the innermost mount.
+        let mut next: Vec<Arc<Mount>> = mounts.iter().cloned().collect();
+        next.push(mount);
+        next.sort_by_key(|m| std::cmp::Reverse(m.path.len()));
+        *mounts = Arc::new(next);
         Ok(id)
     }
 
@@ -228,14 +247,16 @@ impl Vfs {
                 .cloned()
                 .ok_or_else(|| KernelError::with_context(Errno::NoEnt, "not a mountpoint"))?
         };
-        if self.fds.read().values().any(|f| f.mount.id == mount.id) {
+        if self.fds.any(|_, f| f.mount.id == mount.id) {
             return Err(KernelError::with_context(Errno::Busy, "open files on mount"));
         }
         mount.page_cache.writeback_all(&mount.fs)?;
         mount.page_cache.invalidate_all();
         mount.fs.sync_fs()?;
         mount.fs.destroy()?;
-        self.mounts.write().retain(|m| m.id != mount.id);
+        let mut mounts = self.mounts.write();
+        let next: Vec<Arc<Mount>> = mounts.iter().filter(|m| m.id != mount.id).cloned().collect();
+        *mounts = Arc::new(next);
         Ok(())
     }
 
@@ -265,7 +286,8 @@ impl Vfs {
     // -- path resolution ----------------------------------------------------
 
     fn find_mount(&self, normalized: &str) -> KernelResult<(Arc<Mount>, String)> {
-        let mounts = self.mounts.read();
+        // Clone the snapshot and drop the lock before walking the table.
+        let mounts = Arc::clone(&self.mounts.read());
         for mount in mounts.iter() {
             if let Some(rest) = strip_mount_prefix(normalized, &mount.path) {
                 return Ok((Arc::clone(mount), rest));
@@ -281,7 +303,10 @@ impl Vfs {
         let mut attr = mount.fs.getattr(mount.fs.root_ino())?;
         for comp in components(&rest) {
             if attr.kind != FileType::Directory {
-                return Err(KernelError::with_context(Errno::NotDir, "path component not a directory"));
+                return Err(KernelError::with_context(
+                    Errno::NotDir,
+                    "path component not a directory",
+                ));
             }
             attr = mount.fs.lookup(attr.ino, comp)?;
         }
@@ -300,7 +325,10 @@ impl Vfs {
         let mut attr = mount.fs.getattr(mount.fs.root_ino())?;
         for comp in parents {
             if attr.kind != FileType::Directory {
-                return Err(KernelError::with_context(Errno::NotDir, "path component not a directory"));
+                return Err(KernelError::with_context(
+                    Errno::NotDir,
+                    "path component not a directory",
+                ));
             }
             attr = mount.fs.lookup(attr.ino, comp)?;
         }
@@ -320,7 +348,7 @@ impl Vfs {
     /// `CREAT|EXCL`), [`Errno::IsDir`] when writing a directory,
     /// [`Errno::NFile`] if the fd table is full.
     pub fn open(&self, path: &str, flags: OpenFlags) -> KernelResult<u64> {
-        if self.config.max_open_files > 0 && self.fds.read().len() >= self.config.max_open_files {
+        if self.config.max_open_files > 0 && self.fds.len() >= self.config.max_open_files {
             return Err(KernelError::with_context(Errno::NFile, "fd table full"));
         }
         let (mount, attr) = if flags.contains(OpenFlags::CREAT) {
@@ -328,7 +356,10 @@ impl Vfs {
             match mount.fs.lookup(parent.ino, &name) {
                 Ok(existing) => {
                     if flags.contains(OpenFlags::EXCL) {
-                        return Err(KernelError::with_context(Errno::Exist, "O_EXCL and file exists"));
+                        return Err(KernelError::with_context(
+                            Errno::Exist,
+                            "O_EXCL and file exists",
+                        ));
                     }
                     (mount, existing)
                 }
@@ -342,7 +373,10 @@ impl Vfs {
             self.resolve(path)?
         };
         if attr.kind == FileType::Directory && flags.writable() {
-            return Err(KernelError::with_context(Errno::IsDir, "cannot open directory for writing"));
+            return Err(KernelError::with_context(
+                Errno::IsDir,
+                "cannot open directory for writing",
+            ));
         }
         let fh = mount.fs.open(attr.ino, flags)?;
         if flags.contains(OpenFlags::TRUNC) && attr.kind == FileType::Regular {
@@ -358,15 +392,13 @@ impl Vfs {
             kind: attr.kind,
             pos: Mutex::new(0),
         });
-        self.fds.write().insert(fd, file);
+        self.fds.insert(fd, file);
         Ok(fd)
     }
 
     fn file(&self, fd: u64) -> KernelResult<Arc<OpenFile>> {
         self.fds
-            .read()
             .get(&fd)
-            .cloned()
             .ok_or_else(|| KernelError::with_context(Errno::BadF, "bad file descriptor"))
     }
 
@@ -379,7 +411,6 @@ impl Vfs {
     pub fn close(&self, fd: u64) -> KernelResult<()> {
         let file = self
             .fds
-            .write()
             .remove(&fd)
             .ok_or_else(|| KernelError::with_context(Errno::BadF, "bad file descriptor"))?;
         file.mount.fs.release(file.ino, file.fh)?;
@@ -678,7 +709,7 @@ impl Vfs {
 
     /// Number of currently open file descriptors (diagnostics).
     pub fn open_fd_count(&self) -> usize {
-        self.fds.read().len()
+        self.fds.len()
     }
 }
 
@@ -715,10 +746,8 @@ fn strip_mount_prefix(path: &str, mount_path: &str) -> Option<String> {
     let rest = path.strip_prefix(mount_path)?;
     if rest.is_empty() {
         Some(String::new())
-    } else if let Some(stripped) = rest.strip_prefix('/') {
-        Some(stripped.to_string())
     } else {
-        None
+        rest.strip_prefix('/').map(|stripped| stripped.to_string())
     }
 }
 
@@ -735,8 +764,7 @@ mod tests {
     fn vfs_with_root() -> Vfs {
         let vfs = Vfs::new(VfsConfig::default());
         vfs.register_filesystem(Arc::new(MemFilesystemType)).unwrap();
-        vfs.mount("memfs", Arc::new(RamDisk::new(4096, 8)), "/", &MountOptions::default())
-            .unwrap();
+        vfs.mount("memfs", Arc::new(RamDisk::new(4096, 8)), "/", &MountOptions::default()).unwrap();
         vfs
     }
 

@@ -101,7 +101,14 @@ pub struct InodeAttr {
 impl InodeAttr {
     /// Convenience constructor for a regular file attribute.
     pub fn regular(ino: u64, size: u64) -> Self {
-        InodeAttr { ino, kind: FileType::Regular, size, nlink: 1, blocks: size.div_ceil(512), perm: 0o644 }
+        InodeAttr {
+            ino,
+            kind: FileType::Regular,
+            size,
+            nlink: 1,
+            blocks: size.div_ceil(512),
+            perm: 0o644,
+        }
     }
 
     /// Convenience constructor for a directory attribute.
@@ -406,7 +413,13 @@ pub trait VfsFs: Send + Sync {
     /// # Errors
     ///
     /// [`Errno::NoSpc`] if allocation fails; I/O errors propagate.
-    fn write_page(&self, ino: u64, page_index: u64, data: &[u8], file_size: u64) -> KernelResult<()>;
+    fn write_page(
+        &self,
+        ino: u64,
+        page_index: u64,
+        data: &[u8],
+        file_size: u64,
+    ) -> KernelResult<()>;
 
     /// Writes a run of consecutive pages starting at `start_page`.
     ///

@@ -22,8 +22,8 @@ pub mod stacks;
 pub mod untar;
 
 pub use runner::{
-    create_micro, delete_micro, fileserver, read_micro, varmail, write_micro, AccessPattern,
-    WorkloadResult,
+    create_micro, delete_micro, fileserver, read_micro, read_micro_disjoint, varmail, write_micro,
+    write_micro_disjoint, AccessPattern, WorkloadResult,
 };
 pub use stacks::{mount_stack, FsStack, MountedStack};
 pub use untar::{generate_linux_like_manifest, untar, UntarManifest};

@@ -64,7 +64,12 @@ impl WorkloadResult {
 /// Runs `body` on `threads` threads until `duration` elapses; `body`
 /// receives the thread index and a per-thread RNG and returns
 /// (operations, bytes) for one iteration.
-fn run_timed<F>(name: &str, threads: usize, duration: Duration, body: F) -> KernelResult<WorkloadResult>
+fn run_timed<F>(
+    name: &str,
+    threads: usize,
+    duration: Duration,
+    body: F,
+) -> KernelResult<WorkloadResult>
 where
     F: Fn(usize, &mut SmallRng, u64) -> KernelResult<(u64, u64)> + Send + Sync + 'static,
 {
@@ -94,7 +99,9 @@ where
         }));
     }
     for handle in handles {
-        handle.join().map_err(|_| simkernel::error::KernelError::with_context(Errno::Io, "worker panicked"))??;
+        handle.join().map_err(|_| {
+            simkernel::error::KernelError::with_context(Errno::Io, "worker panicked")
+        })??;
     }
     Ok(WorkloadResult {
         name: name.to_string(),
@@ -157,7 +164,8 @@ pub fn read_micro(
 
     let vfs = Arc::clone(vfs);
     let name = format!("read-{}k-{}", io_size / 1024, pattern.label());
-    let fds: Vec<u64> = (0..threads).map(|_| vfs.open(path, OpenFlags::RDONLY)).collect::<KernelResult<_>>()?;
+    let fds: Vec<u64> =
+        (0..threads).map(|_| vfs.open(path, OpenFlags::RDONLY)).collect::<KernelResult<_>>()?;
     let fds = Arc::new(fds);
     let span = file_size.saturating_sub(io_size as u64).max(1);
     let result = {
@@ -201,9 +209,8 @@ pub fn write_micro(
     vfs.close(fd)?;
 
     let name = format!("write-{}k-{}", io_size / 1024, pattern.label());
-    let fds: Vec<u64> = (0..threads)
-        .map(|_| vfs.open(path, OpenFlags::WRONLY))
-        .collect::<KernelResult<_>>()?;
+    let fds: Vec<u64> =
+        (0..threads).map(|_| vfs.open(path, OpenFlags::WRONLY)).collect::<KernelResult<_>>()?;
     let fds = Arc::new(fds);
     let span = file_size.saturating_sub(io_size as u64).max(1);
     let result = {
@@ -283,6 +290,113 @@ pub fn delete_micro(
         vfs2.unlink(&format!("/delete-{t}/f{iteration}"))?;
         Ok((1, 0))
     })
+}
+
+/// Like [`read_micro`] but with one private file *per thread*: thread `t`
+/// only ever touches `/scale-read-{t}.bin` through its own descriptor.
+///
+/// This is the workload that exposes lock sharding: with disjoint files the
+/// only shared state on the hot path is the kernel's own bookkeeping (fd
+/// table, page cache file table, buffer cache map), so throughput scales
+/// with threads exactly when those maps are contention-free.
+///
+/// # Errors
+///
+/// Propagates file system errors.
+pub fn read_micro_disjoint(
+    vfs: &Arc<Vfs>,
+    file_size: u64,
+    io_size: usize,
+    pattern: AccessPattern,
+    threads: usize,
+    duration: Duration,
+) -> KernelResult<WorkloadResult> {
+    let mut fds = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let path = format!("/scale-read-{t}.bin");
+        let fd = vfs.open(&path, OpenFlags::RDWR.with(OpenFlags::CREAT))?;
+        write_fully(vfs, fd, file_size, 1 << 20)?;
+        vfs.fsync(fd)?;
+        vfs.close(fd)?;
+        // Warm this thread's file into the page cache.
+        let fd = vfs.open(&path, OpenFlags::RDONLY)?;
+        let mut warm = vec![0u8; 1 << 20];
+        let mut off = 0u64;
+        while off < file_size {
+            let n = vfs.pread(fd, &mut warm, off)?;
+            if n == 0 {
+                break;
+            }
+            off += n as u64;
+        }
+        fds.push(fd);
+    }
+    let fds = Arc::new(fds);
+    let name = format!("read-{}k-{}-disjoint", io_size / 1024, pattern.label());
+    let span = file_size.saturating_sub(io_size as u64).max(1);
+    let result = {
+        let vfs = Arc::clone(vfs);
+        let fds = Arc::clone(&fds);
+        run_timed(&name, threads, duration, move |t, rng, iteration| {
+            let mut buf = vec![0u8; io_size];
+            let offset = match pattern {
+                AccessPattern::Sequential => (iteration * io_size as u64) % span,
+                AccessPattern::Random => rng.gen_range(0..span) / io_size as u64 * io_size as u64,
+            };
+            let n = vfs.pread(fds[t], &mut buf, offset)?;
+            Ok((1, n as u64))
+        })?
+    };
+    for (t, fd) in fds.iter().enumerate() {
+        vfs.close(*fd)?;
+        vfs.unlink(&format!("/scale-read-{t}.bin"))?;
+    }
+    Ok(result)
+}
+
+/// Like [`write_micro`] but with one private preallocated file per thread
+/// (see [`read_micro_disjoint`] for why).
+///
+/// # Errors
+///
+/// Propagates file system errors.
+pub fn write_micro_disjoint(
+    vfs: &Arc<Vfs>,
+    file_size: u64,
+    io_size: usize,
+    pattern: AccessPattern,
+    threads: usize,
+    duration: Duration,
+) -> KernelResult<WorkloadResult> {
+    let mut fds = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let path = format!("/scale-write-{t}.bin");
+        let fd = vfs.open(&path, OpenFlags::RDWR.with(OpenFlags::CREAT))?;
+        write_fully(vfs, fd, file_size, 1 << 20)?;
+        vfs.fsync(fd)?;
+        fds.push(fd);
+    }
+    let fds = Arc::new(fds);
+    let name = format!("write-{}k-{}-disjoint", io_size / 1024, pattern.label());
+    let span = file_size.saturating_sub(io_size as u64).max(1);
+    let result = {
+        let vfs = Arc::clone(vfs);
+        let fds = Arc::clone(&fds);
+        run_timed(&name, threads, duration, move |t, rng, iteration| {
+            let data = vec![0x5Au8; io_size];
+            let offset = match pattern {
+                AccessPattern::Sequential => (iteration * io_size as u64) % span,
+                AccessPattern::Random => rng.gen_range(0..span) / io_size as u64 * io_size as u64,
+            };
+            let n = vfs.pwrite(fds[t], &data, offset)?;
+            Ok((1, n as u64))
+        })?
+    };
+    for (t, fd) in fds.iter().enumerate() {
+        vfs.close(*fd)?;
+        vfs.unlink(&format!("/scale-write-{t}.bin"))?;
+    }
+    Ok(result)
 }
 
 // ---------------------------------------------------------------------------
@@ -434,22 +548,17 @@ mod tests {
     fn memfs_vfs() -> Arc<Vfs> {
         let vfs = Arc::new(Vfs::new(VfsConfig::default()));
         vfs.register_filesystem(Arc::new(MemFilesystemType)).unwrap();
-        vfs.mount("memfs", Arc::new(RamDisk::new(4096, 16)), "/", &MountOptions::default()).unwrap();
+        vfs.mount("memfs", Arc::new(RamDisk::new(4096, 16)), "/", &MountOptions::default())
+            .unwrap();
         vfs
     }
 
     #[test]
     fn read_micro_reports_ops_and_bytes() {
         let vfs = memfs_vfs();
-        let result = read_micro(
-            &vfs,
-            1 << 20,
-            4096,
-            AccessPattern::Random,
-            2,
-            Duration::from_millis(50),
-        )
-        .unwrap();
+        let result =
+            read_micro(&vfs, 1 << 20, 4096, AccessPattern::Random, 2, Duration::from_millis(50))
+                .unwrap();
         assert!(result.operations > 0);
         assert_eq!(result.bytes, result.operations * 4096);
         assert!(result.ops_per_sec() > 0.0);
@@ -460,10 +569,41 @@ mod tests {
         let vfs = memfs_vfs();
         for pattern in [AccessPattern::Sequential, AccessPattern::Random] {
             let result =
-                write_micro(&vfs, 1 << 20, 32 * 1024, pattern, 2, Duration::from_millis(50)).unwrap();
+                write_micro(&vfs, 1 << 20, 32 * 1024, pattern, 2, Duration::from_millis(50))
+                    .unwrap();
             assert!(result.operations > 0, "{pattern:?}");
             assert!(result.throughput_mbps() > 0.0);
         }
+    }
+
+    #[test]
+    fn disjoint_micros_report_ops_and_clean_up() {
+        let vfs = memfs_vfs();
+        let read = read_micro_disjoint(
+            &vfs,
+            256 * 1024,
+            4096,
+            AccessPattern::Random,
+            4,
+            Duration::from_millis(50),
+        )
+        .unwrap();
+        assert!(read.operations > 0);
+        assert_eq!(read.bytes, read.operations * 4096);
+        let write = write_micro_disjoint(
+            &vfs,
+            256 * 1024,
+            4096,
+            AccessPattern::Sequential,
+            4,
+            Duration::from_millis(50),
+        )
+        .unwrap();
+        assert!(write.operations > 0);
+        // The per-thread files are unlinked afterwards.
+        assert!(!vfs.exists("/scale-read-0.bin"));
+        assert!(!vfs.exists("/scale-write-0.bin"));
+        assert_eq!(vfs.open_fd_count(), 0);
     }
 
     #[test]

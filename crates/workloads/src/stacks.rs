@@ -84,7 +84,11 @@ impl MountedStack {
 /// # Errors
 ///
 /// Propagates mkfs/mount errors.
-pub fn mount_stack(stack: FsStack, model: CostModel, disk_blocks: u64) -> KernelResult<MountedStack> {
+pub fn mount_stack(
+    stack: FsStack,
+    model: CostModel,
+    disk_blocks: u64,
+) -> KernelResult<MountedStack> {
     let device = Arc::new(SsdDevice::ram_backed(disk_blocks, model.clone()));
     let device_dyn: Arc<dyn BlockDevice> = Arc::clone(&device) as Arc<dyn BlockDevice>;
     let vfs = Arc::new(Vfs::new(VfsConfig::default()));

@@ -99,7 +99,11 @@ pub fn generate_linux_like_manifest(dirs: usize, files: usize, seed: u64) -> Unt
 /// # Errors
 ///
 /// Propagates file system errors.
-pub fn untar(vfs: &Arc<Vfs>, base: &str, manifest: &UntarManifest) -> KernelResult<(Duration, u64)> {
+pub fn untar(
+    vfs: &Arc<Vfs>,
+    base: &str,
+    manifest: &UntarManifest,
+) -> KernelResult<(Duration, u64)> {
     let base = base.trim_end_matches('/');
     let start = Instant::now();
     let mut bytes = 0u64;
@@ -110,7 +114,8 @@ pub fn untar(vfs: &Arc<Vfs>, base: &str, manifest: &UntarManifest) -> KernelResu
                 vfs.mkdir(&format!("{base}/{path}"))?;
             }
             UntarEntry::File(path, size) => {
-                let fd = vfs.open(&format!("{base}/{path}"), OpenFlags::WRONLY.with(OpenFlags::CREAT))?;
+                let fd =
+                    vfs.open(&format!("{base}/{path}"), OpenFlags::WRONLY.with(OpenFlags::CREAT))?;
                 let mut remaining = *size;
                 while remaining > 0 {
                     let n = (remaining as usize).min(payload.len());
@@ -153,7 +158,8 @@ mod tests {
     fn untar_extracts_every_entry() {
         let vfs = Arc::new(Vfs::new(VfsConfig::default()));
         vfs.register_filesystem(Arc::new(MemFilesystemType)).unwrap();
-        vfs.mount("memfs", Arc::new(RamDisk::new(4096, 16)), "/", &MountOptions::default()).unwrap();
+        vfs.mount("memfs", Arc::new(RamDisk::new(4096, 16)), "/", &MountOptions::default())
+            .unwrap();
         let manifest = generate_linux_like_manifest(16, 60, 3);
         let (elapsed, bytes) = untar(&vfs, "/", &manifest).unwrap();
         assert!(elapsed.as_nanos() > 0);

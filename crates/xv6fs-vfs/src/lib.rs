@@ -27,7 +27,6 @@
 
 pub mod log;
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -35,6 +34,7 @@ use parking_lot::{Mutex, RwLock};
 use simkernel::buffer::BufferCache;
 use simkernel::dev::BlockDevice;
 use simkernel::error::{Errno, KernelError, KernelResult};
+use simkernel::shard::ShardedMap;
 use simkernel::vfs::{
     DirEntry, FileMode, FilesystemType, InodeAttr, MountOptions, OpenFlags, SetAttr, StatFs, VfsFs,
 };
@@ -61,14 +61,19 @@ struct AllocInner {
 }
 
 /// The xv6 file system implemented directly against the kernel VFS layer.
+///
+/// Mirroring the Bento variant, the in-memory inode table and the
+/// open-handle table are sharded ([`ShardedMap`]) so operations on
+/// different inodes do not serialize on one table lock; the allocator and
+/// the log remain single locks, exactly as in the original C design.
 pub struct Xv6VfsFilesystem {
     cache: BufferCache,
     dsb: DiskSuperblock,
     log: VfsLog,
-    inodes: Mutex<HashMap<u32, Arc<RwLock<InodeData>>>>,
+    inodes: ShardedMap<u32, Arc<RwLock<InodeData>>>,
     alloc: Mutex<AllocInner>,
     namespace: Mutex<()>,
-    opens: Mutex<HashMap<u32, u32>>,
+    opens: ShardedMap<u32, u32>,
 }
 
 impl std::fmt::Debug for Xv6VfsFilesystem {
@@ -95,18 +100,17 @@ impl Xv6VfsFilesystem {
             cache,
             dsb,
             log,
-            inodes: Mutex::new(HashMap::new()),
+            inodes: ShardedMap::new(0),
             alloc: Mutex::new(AllocInner { block_hint: 0, inode_hint: 1, used_blocks: None }),
             namespace: Mutex::new(()),
-            opens: Mutex::new(HashMap::new()),
+            opens: ShardedMap::new(0),
         };
         fs.log.recover(&fs.cache)?;
         Ok(Arc::new(fs))
     }
 
     fn inode(&self, inum: u32) -> Arc<RwLock<InodeData>> {
-        let mut map = self.inodes.lock();
-        Arc::clone(map.entry(inum).or_insert_with(|| Arc::new(RwLock::new(InodeData::default()))))
+        self.inodes.get_or_insert_with(inum, || Arc::new(RwLock::new(InodeData::default())))
     }
 
     fn read_dinode(&self, inum: u32, data: &mut InodeData) -> KernelResult<()> {
@@ -278,7 +282,13 @@ impl Xv6VfsFilesystem {
         Ok(done)
     }
 
-    fn writei(&self, inum: u32, data: &mut InodeData, offset: u64, src: &[u8]) -> KernelResult<usize> {
+    fn writei(
+        &self,
+        inum: u32,
+        data: &mut InodeData,
+        offset: u64,
+        src: &[u8],
+    ) -> KernelResult<usize> {
         let mut done = 0;
         while done < src.len() {
             let pos = offset + done as u64;
@@ -320,7 +330,13 @@ impl Xv6VfsFilesystem {
         Ok(None)
     }
 
-    fn dirlink(&self, dir_inum: u32, dir: &mut InodeData, name: &str, inum: u32) -> KernelResult<()> {
+    fn dirlink(
+        &self,
+        dir_inum: u32,
+        dir: &mut InodeData,
+        name: &str,
+        inum: u32,
+    ) -> KernelResult<()> {
         validate_name(name)?;
         if self.dirlookup(dir, name)?.is_some() {
             return Err(KernelError::with_context(Errno::Exist, "xv6fs-vfs: name exists"));
@@ -380,7 +396,12 @@ impl Xv6VfsFilesystem {
                 }
                 self.bfree(data.addrs[NDIRECT + 1] as u64)?;
             }
-            *data = InodeData { valid: true, ftype: data.ftype, nlink: data.nlink, ..InodeData::default() };
+            *data = InodeData {
+                valid: true,
+                ftype: data.ftype,
+                nlink: data.nlink,
+                ..InodeData::default()
+            };
             self.write_dinode(inum, data)
         })();
         self.log.end_op(&self.cache)?;
@@ -398,7 +419,7 @@ impl Xv6VfsFilesystem {
             self.log.log_write(blockno)
         })();
         self.log.end_op(&self.cache)?;
-        self.inodes.lock().remove(&inum);
+        self.inodes.remove(&inum);
         result
     }
 }
@@ -439,7 +460,10 @@ impl VfsFs for Xv6VfsFilesystem {
         self.read_dinode(inum, &mut guard)?;
         if let Some(size) = set.size {
             if guard.is_dir() {
-                return Err(KernelError::with_context(Errno::IsDir, "xv6fs-vfs: truncate directory"));
+                return Err(KernelError::with_context(
+                    Errno::IsDir,
+                    "xv6fs-vfs: truncate directory",
+                ));
             }
             if size < guard.size {
                 // Free whole blocks beyond the new end.
@@ -518,7 +542,10 @@ impl VfsFs for Xv6VfsFilesystem {
 
     fn unlink(&self, dir: u64, name: &str) -> KernelResult<()> {
         if name == "." || name == ".." {
-            return Err(KernelError::with_context(Errno::Inval, "xv6fs-vfs: cannot unlink dot entries"));
+            return Err(KernelError::with_context(
+                Errno::Inval,
+                "xv6fs-vfs: cannot unlink dot entries",
+            ));
         }
         let _ns = self.namespace.lock();
         self.log.begin_op();
@@ -540,7 +567,7 @@ impl VfsFs for Xv6VfsFilesystem {
             self.writei(dir, &mut parent, offset, &zero)?;
             child.nlink = child.nlink.saturating_sub(1);
             self.write_dinode(inum, &child)?;
-            Ok((child.nlink == 0 && *self.opens.lock().get(&inum).unwrap_or(&0) == 0).then_some(inum))
+            Ok((child.nlink == 0 && self.opens.get(&inum).unwrap_or(0) == 0).then_some(inum))
         })();
         self.log.end_op(&self.cache)?;
         if let Some(inum) = reap? {
@@ -554,7 +581,10 @@ impl VfsFs for Xv6VfsFilesystem {
 
     fn rmdir(&self, dir: u64, name: &str) -> KernelResult<()> {
         if name == "." || name == ".." {
-            return Err(KernelError::with_context(Errno::Inval, "xv6fs-vfs: cannot rmdir dot entries"));
+            return Err(KernelError::with_context(
+                Errno::Inval,
+                "xv6fs-vfs: cannot rmdir dot entries",
+            ));
         }
         let _ns = self.namespace.lock();
         self.log.begin_op();
@@ -603,7 +633,10 @@ impl VfsFs for Xv6VfsFilesystem {
 
     fn rename(&self, olddir: u64, oldname: &str, newdir: u64, newname: &str) -> KernelResult<()> {
         if oldname == "." || oldname == ".." || newname == "." || newname == ".." {
-            return Err(KernelError::with_context(Errno::Inval, "xv6fs-vfs: cannot rename dot entries"));
+            return Err(KernelError::with_context(
+                Errno::Inval,
+                "xv6fs-vfs: cannot rename dot entries",
+            ));
         }
         let _ns = self.namespace.lock();
         // Remove any existing target first (outside the main transaction the
@@ -650,9 +683,9 @@ impl VfsFs for Xv6VfsFilesystem {
             let src_arc = self.inode(olddir32);
             let mut src_parent = src_arc.write();
             self.read_dinode(olddir32, &mut src_parent)?;
-            let (inum, offset) = self
-                .dirlookup(&mut src_parent, oldname)?
-                .ok_or_else(|| KernelError::with_context(Errno::NoEnt, "xv6fs-vfs: rename source missing"))?;
+            let (inum, offset) = self.dirlookup(&mut src_parent, oldname)?.ok_or_else(|| {
+                KernelError::with_context(Errno::NoEnt, "xv6fs-vfs: rename source missing")
+            })?;
             let child_arc = self.inode(inum);
             let child_is_dir = {
                 let mut child = child_arc.write();
@@ -700,7 +733,10 @@ impl VfsFs for Xv6VfsFilesystem {
             let mut data = arc.write();
             self.read_dinode(inum, &mut data)?;
             if data.is_dir() {
-                return Err(KernelError::with_context(Errno::Perm, "xv6fs-vfs: cannot link directory"));
+                return Err(KernelError::with_context(
+                    Errno::Perm,
+                    "xv6fs-vfs: cannot link directory",
+                ));
             }
             data.nlink += 1;
             self.write_dinode(inum, &data)?;
@@ -718,26 +754,14 @@ impl VfsFs for Xv6VfsFilesystem {
 
     fn open(&self, ino: u64, _flags: OpenFlags) -> KernelResult<u64> {
         self.getattr(ino)?;
-        *self.opens.lock().entry(ino as u32).or_insert(0) += 1;
+        self.opens.update_or_default(ino as u32, |count| *count += 1);
         Ok(ino)
     }
 
     fn release(&self, ino: u64, _fh: u64) -> KernelResult<()> {
         let inum = ino as u32;
-        let remaining = {
-            let mut opens = self.opens.lock();
-            match opens.get_mut(&inum) {
-                Some(c) => {
-                    *c = c.saturating_sub(1);
-                    let r = *c;
-                    if r == 0 {
-                        opens.remove(&inum);
-                    }
-                    r
-                }
-                None => 0,
-            }
-        };
+        // Decrement-and-prune atomically under the owning shard's lock.
+        let remaining = self.opens.decrement_and_prune(&inum);
         if remaining == 0 {
             let arc = self.inode(inum);
             let mut data = arc.write();
@@ -790,7 +814,13 @@ impl VfsFs for Xv6VfsFilesystem {
         self.readi(&mut data, page_index * BSIZE as u64, buf)
     }
 
-    fn write_page(&self, ino: u64, page_index: u64, data: &[u8], file_size: u64) -> KernelResult<()> {
+    fn write_page(
+        &self,
+        ino: u64,
+        page_index: u64,
+        data: &[u8],
+        file_size: u64,
+    ) -> KernelResult<()> {
         // The plain `writepage` path: one transaction per page.
         let inum = ino as u32;
         let offset = page_index * BSIZE as u64;

@@ -227,7 +227,7 @@ mod tests {
                 }
             }
             // Avoid overflowing the transaction: commit periodically.
-            if allocated % 16 == 0 {
+            if allocated.is_multiple_of(16) {
                 core.log.end_op(&sb).unwrap();
                 core.log.begin_op();
             }

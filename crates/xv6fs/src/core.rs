@@ -3,12 +3,11 @@
 //! writes, and truncation.  Everything here runs inside transactions managed
 //! by the caller (see [`crate::fs`]).
 
-use std::collections::HashMap;
-
 use parking_lot::Mutex;
 
 use bento::bentoks::SuperBlock;
 use simkernel::error::{Errno, KernelError, KernelResult};
+use simkernel::shard::ShardedMap;
 
 use crate::inode::{InodeCache, InodeData};
 use crate::layout::{
@@ -57,12 +56,13 @@ pub struct FsCore {
     pub dsb: DiskSuperblock,
     /// The write-ahead log.
     pub log: Log,
-    /// The inode cache.
+    /// The inode cache (sharded; see [`InodeCache`]).
     pub icache: InodeCache,
     /// Allocation cursors and counters.
     pub alloc: Mutex<AllocState>,
     /// Open handle counts per inode (for deferred free of unlinked files).
-    pub opens: Mutex<HashMap<u32, u32>>,
+    /// Sharded so open/release of different inodes do not contend.
+    pub opens: ShardedMap<u32, u32>,
     /// Serializes directory-tree restructuring operations.
     pub namespace: Mutex<()>,
     /// Activity counters.
@@ -77,7 +77,7 @@ impl FsCore {
             dsb,
             icache: InodeCache::new(),
             alloc: Mutex::new(AllocState::default()),
-            opens: Mutex::new(HashMap::new()),
+            opens: ShardedMap::new(0),
             namespace: Mutex::new(()),
             stats: Mutex::new(FsStats::default()),
         }
@@ -95,7 +95,10 @@ impl FsCore {
             return Ok(());
         }
         if inum as u64 >= self.dsb.ninodes as u64 {
-            return Err(KernelError::with_context(Errno::NoEnt, "xv6fs: inode number out of range"));
+            return Err(KernelError::with_context(
+                Errno::NoEnt,
+                "xv6fs: inode number out of range",
+            ));
         }
         let block = sb.bread(self.dsb.inode_block(inum))?;
         let dinode = Dinode::decode(block.data(), DiskSuperblock::inode_offset(inum));
@@ -139,7 +142,10 @@ impl FsCore {
     ) -> KernelResult<Option<u64>> {
         let bn = bn as usize;
         if bn >= MAXFILE {
-            return Err(KernelError::with_context(Errno::FBig, "xv6fs: file block beyond maximum size"));
+            return Err(KernelError::with_context(
+                Errno::FBig,
+                "xv6fs: file block beyond maximum size",
+            ));
         }
         if bn < NDIRECT {
             if data.addrs[bn] == 0 {
@@ -171,10 +177,11 @@ impl FsCore {
         }
         let l1_index = bn / NINDIRECT;
         let l2_index = bn % NINDIRECT;
-        let l1 = match self.indirect_lookup(sb, data.addrs[NDIRECT + 1] as u64, l1_index, allocate)? {
-            Some(b) => b,
-            None => return Ok(None),
-        };
+        let l1 =
+            match self.indirect_lookup(sb, data.addrs[NDIRECT + 1] as u64, l1_index, allocate)? {
+                Some(b) => b,
+                None => return Ok(None),
+            };
         self.indirect_lookup(sb, l1, l2_index, allocate)
     }
 
@@ -231,7 +238,8 @@ impl FsCore {
             match self.bmap(sb, data, bn, false)? {
                 Some(blockno) => {
                     let block = sb.bread(blockno)?;
-                    buf[done..done + chunk].copy_from_slice(&block.data()[block_off..block_off + chunk]);
+                    buf[done..done + chunk]
+                        .copy_from_slice(&block.data()[block_off..block_off + chunk]);
                 }
                 None => {
                     // Hole: reads as zeros.
@@ -266,11 +274,12 @@ impl FsCore {
             let bn = pos / BSIZE as u64;
             let block_off = (pos % BSIZE as u64) as usize;
             let chunk = (BSIZE - block_off).min(src.len() - done);
-            let blockno = self
-                .bmap(sb, data, bn, true)?
-                .ok_or_else(|| KernelError::with_context(Errno::Io, "xv6fs: bmap failed to allocate"))?;
+            let blockno = self.bmap(sb, data, bn, true)?.ok_or_else(|| {
+                KernelError::with_context(Errno::Io, "xv6fs: bmap failed to allocate")
+            })?;
             let mut block = sb.bread(blockno)?;
-            block.data_mut()[block_off..block_off + chunk].copy_from_slice(&src[done..done + chunk]);
+            block.data_mut()[block_off..block_off + chunk]
+                .copy_from_slice(&src[done..done + chunk]);
             drop(block);
             self.log.log_write(blockno)?;
             done += chunk;
@@ -312,7 +321,7 @@ impl FsCore {
         }
         // Zero the tail of the (kept) final partial block so later growth
         // does not resurrect old bytes.
-        if new_size % BSIZE as u64 != 0 {
+        if !new_size.is_multiple_of(BSIZE as u64) {
             if let Some(blockno) = self.bmap(sb, data, new_size / BSIZE as u64, false)? {
                 let keep = (new_size % BSIZE as u64) as usize;
                 let mut block = sb.bread(blockno)?;
@@ -412,27 +421,17 @@ impl FsCore {
 
     /// Number of handles currently open on `inum`.
     pub fn open_count(&self, inum: u32) -> u32 {
-        *self.opens.lock().get(&inum).unwrap_or(&0)
+        self.opens.get(&inum).unwrap_or(0)
     }
 
     /// Registers an open handle on `inum`.
     pub fn note_open(&self, inum: u32) {
-        *self.opens.lock().entry(inum).or_insert(0) += 1;
+        self.opens.update_or_default(inum, |count| *count += 1);
     }
 
-    /// Releases an open handle; returns the remaining count.
+    /// Releases an open handle; returns the remaining count.  The
+    /// decrement-and-prune is atomic under the owning shard's lock.
     pub fn note_release(&self, inum: u32) -> u32 {
-        let mut opens = self.opens.lock();
-        match opens.get_mut(&inum) {
-            Some(count) => {
-                *count = count.saturating_sub(1);
-                let remaining = *count;
-                if remaining == 0 {
-                    opens.remove(&inum);
-                }
-                remaining
-            }
-            None => 0,
-        }
+        self.opens.decrement_and_prune(&inum)
     }
 }

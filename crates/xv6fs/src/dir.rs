@@ -151,7 +151,11 @@ impl FsCore {
     /// # Errors
     ///
     /// I/O errors propagate.
-    pub fn dir_entries(&self, sb: &SuperBlock, dir_data: &mut InodeData) -> KernelResult<Vec<DirEntry>> {
+    pub fn dir_entries(
+        &self,
+        sb: &SuperBlock,
+        dir_data: &mut InodeData,
+    ) -> KernelResult<Vec<DirEntry>> {
         let mut out = Vec::new();
         let mut offset = 0u64;
         let mut block = vec![0u8; crate::layout::BSIZE];

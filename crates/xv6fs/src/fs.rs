@@ -109,7 +109,8 @@ impl Xv6FileSystem {
         new_size: u64,
     ) -> KernelResult<()> {
         while data.size > new_size {
-            let step_target = new_size.max(data.size.saturating_sub(TRUNC_CHUNK_BLOCKS * BSIZE as u64));
+            let step_target =
+                new_size.max(data.size.saturating_sub(TRUNC_CHUNK_BLOCKS * BSIZE as u64));
             core.log.begin_op();
             let result = core.truncate_inode(sb, inum, data, step_target);
             core.log.end_op(sb)?;
@@ -129,10 +130,8 @@ impl Xv6FileSystem {
     fn reap_inode(core: &FsCore, sb: &SuperBlock, inum: u32) -> KernelResult<()> {
         let inode = core.icache.get(inum);
         let mut data = inode.data.write();
-        if !data.valid {
-            if core.load_inode(sb, inum, &mut data).is_err() {
-                return Ok(());
-            }
+        if !data.valid && core.load_inode(sb, inum, &mut data).is_err() {
+            return Ok(());
         }
         if data.nlink > 0 {
             return Ok(());
@@ -183,7 +182,13 @@ impl FileSystem for Xv6FileSystem {
         })
     }
 
-    fn lookup(&self, _req: &Request, sb: &SuperBlock, parent: u64, name: &str) -> KernelResult<InodeAttr> {
+    fn lookup(
+        &self,
+        _req: &Request,
+        sb: &SuperBlock,
+        parent: u64,
+        name: &str,
+    ) -> KernelResult<InodeAttr> {
         let child = self.with_core(|core| {
             let dir = core.icache.get(parent as u32);
             let mut dir_data = dir.data.write();
@@ -200,7 +205,13 @@ impl FileSystem for Xv6FileSystem {
         self.lookup_attr(sb, ino as u32)
     }
 
-    fn setattr(&self, _req: &Request, sb: &SuperBlock, ino: u64, set: &SetAttr) -> KernelResult<InodeAttr> {
+    fn setattr(
+        &self,
+        _req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        set: &SetAttr,
+    ) -> KernelResult<InodeAttr> {
         self.with_core(|core| {
             let inum = ino as u32;
             let inode = core.icache.get(inum);
@@ -208,7 +219,10 @@ impl FileSystem for Xv6FileSystem {
             core.load_inode(sb, inum, &mut data)?;
             if let Some(size) = set.size {
                 if data.is_dir() {
-                    return Err(KernelError::with_context(Errno::IsDir, "xv6fs: truncate directory"));
+                    return Err(KernelError::with_context(
+                        Errno::IsDir,
+                        "xv6fs: truncate directory",
+                    ));
                 }
                 Self::truncate_chunked(core, sb, inum, &mut data, size)?;
             }
@@ -253,7 +267,14 @@ impl FileSystem for Xv6FileSystem {
         })
     }
 
-    fn mkdir(&self, _req: &Request, sb: &SuperBlock, parent: u64, name: &str, _mode: FileMode) -> KernelResult<InodeAttr> {
+    fn mkdir(
+        &self,
+        _req: &Request,
+        sb: &SuperBlock,
+        parent: u64,
+        name: &str,
+        _mode: FileMode,
+    ) -> KernelResult<InodeAttr> {
         self.with_core(|core| {
             let _ns = core.namespace.lock();
             core.log.begin_op();
@@ -296,14 +317,17 @@ impl FileSystem for Xv6FileSystem {
                 let dir = core.icache.get(parent);
                 let mut dir_data = dir.data.write();
                 core.load_inode(sb, parent, &mut dir_data)?;
-                let (inum, offset) = core
-                    .dirlookup(sb, &mut dir_data, name)?
-                    .ok_or_else(|| KernelError::with_context(Errno::NoEnt, "xv6fs: no such entry"))?;
+                let (inum, offset) = core.dirlookup(sb, &mut dir_data, name)?.ok_or_else(|| {
+                    KernelError::with_context(Errno::NoEnt, "xv6fs: no such entry")
+                })?;
                 let inode = core.icache.get(inum);
                 let mut data = inode.data.write();
                 core.load_inode(sb, inum, &mut data)?;
                 if data.is_dir() {
-                    return Err(KernelError::with_context(Errno::IsDir, "xv6fs: use rmdir for directories"));
+                    return Err(KernelError::with_context(
+                        Errno::IsDir,
+                        "xv6fs: use rmdir for directories",
+                    ));
                 }
                 core.dir_remove_at(sb, parent, &mut dir_data, offset)?;
                 data.nlink = data.nlink.saturating_sub(1);
@@ -333,9 +357,9 @@ impl FileSystem for Xv6FileSystem {
                 let dir = core.icache.get(parent);
                 let mut dir_data = dir.data.write();
                 core.load_inode(sb, parent, &mut dir_data)?;
-                let (inum, offset) = core
-                    .dirlookup(sb, &mut dir_data, name)?
-                    .ok_or_else(|| KernelError::with_context(Errno::NoEnt, "xv6fs: no such entry"))?;
+                let (inum, offset) = core.dirlookup(sb, &mut dir_data, name)?.ok_or_else(|| {
+                    KernelError::with_context(Errno::NoEnt, "xv6fs: no such entry")
+                })?;
                 let inode = core.icache.get(inum);
                 let mut data = inode.data.write();
                 core.load_inode(sb, inum, &mut data)?;
@@ -343,7 +367,10 @@ impl FileSystem for Xv6FileSystem {
                     return Err(KernelError::with_context(Errno::NotDir, "xv6fs: not a directory"));
                 }
                 if !core.dir_is_empty(sb, &mut data)? {
-                    return Err(KernelError::with_context(Errno::NotEmpty, "xv6fs: directory not empty"));
+                    return Err(KernelError::with_context(
+                        Errno::NotEmpty,
+                        "xv6fs: directory not empty",
+                    ));
                 }
                 core.dir_remove_at(sb, parent, &mut dir_data, offset)?;
                 dir_data.nlink = dir_data.nlink.saturating_sub(1);
@@ -385,9 +412,10 @@ impl FileSystem for Xv6FileSystem {
                     let dir = core.icache.get(old_parent);
                     let mut dir_data = dir.data.write();
                     core.load_inode(sb, old_parent, &mut dir_data)?;
-                    let (inum, offset) = core
-                        .dirlookup(sb, &mut dir_data, name)?
-                        .ok_or_else(|| KernelError::with_context(Errno::NoEnt, "xv6fs: rename source missing"))?;
+                    let (inum, offset) =
+                        core.dirlookup(sb, &mut dir_data, name)?.ok_or_else(|| {
+                            KernelError::with_context(Errno::NoEnt, "xv6fs: rename source missing")
+                        })?;
                     src_inum = inum;
                     src_offset = offset;
                 }
@@ -403,7 +431,9 @@ impl FileSystem for Xv6FileSystem {
                     let dir = core.icache.get(new_parent);
                     let mut dir_data = dir.data.write();
                     core.load_inode(sb, new_parent, &mut dir_data)?;
-                    if let Some((target_inum, target_offset)) = core.dirlookup(sb, &mut dir_data, newname)? {
+                    if let Some((target_inum, target_offset)) =
+                        core.dirlookup(sb, &mut dir_data, newname)?
+                    {
                         if target_inum == src_inum {
                             return Ok(None);
                         }
@@ -466,7 +496,14 @@ impl FileSystem for Xv6FileSystem {
         })
     }
 
-    fn link(&self, _req: &Request, sb: &SuperBlock, ino: u64, newparent: u64, newname: &str) -> KernelResult<InodeAttr> {
+    fn link(
+        &self,
+        _req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        newparent: u64,
+        newname: &str,
+    ) -> KernelResult<InodeAttr> {
         self.with_core(|core| {
             let _ns = core.namespace.lock();
             core.log.begin_op();
@@ -476,7 +513,10 @@ impl FileSystem for Xv6FileSystem {
                 let mut data = inode.data.write();
                 core.load_inode(sb, inum, &mut data)?;
                 if data.is_dir() {
-                    return Err(KernelError::with_context(Errno::Perm, "xv6fs: cannot hard-link directories"));
+                    return Err(KernelError::with_context(
+                        Errno::Perm,
+                        "xv6fs: cannot hard-link directories",
+                    ));
                 }
                 if data.nlink == u16::MAX {
                     return Err(KernelError::with_context(Errno::MLink, "xv6fs: too many links"));
@@ -496,7 +536,13 @@ impl FileSystem for Xv6FileSystem {
         })
     }
 
-    fn open(&self, _req: &Request, sb: &SuperBlock, ino: u64, _flags: OpenFlags) -> KernelResult<u64> {
+    fn open(
+        &self,
+        _req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        _flags: OpenFlags,
+    ) -> KernelResult<u64> {
         self.with_core(|core| {
             let inum = ino as u32;
             let inode = core.icache.get(inum);
@@ -538,7 +584,8 @@ impl FileSystem for Xv6FileSystem {
                 core.load_inode(sb, inum, &mut guard)?;
                 *guard
             };
-            let mut buf = vec![0u8; (size as usize).min((data.size.saturating_sub(offset)) as usize)];
+            let mut buf =
+                vec![0u8; (size as usize).min((data.size.saturating_sub(offset)) as usize)];
             let n = core.readi(sb, &mut data, offset, &mut buf)?;
             buf.truncate(n);
             Ok(buf)
@@ -564,8 +611,15 @@ impl FileSystem for Xv6FileSystem {
                 core.log.begin_op();
                 let result = {
                     let mut guard = inode.data.write();
-                    core.load_inode(sb, inum, &mut guard)
-                        .and_then(|()| core.writei(sb, inum, &mut guard, offset + written as u64, &data[written..end]))
+                    core.load_inode(sb, inum, &mut guard).and_then(|()| {
+                        core.writei(
+                            sb,
+                            inum,
+                            &mut guard,
+                            offset + written as u64,
+                            &data[written..end],
+                        )
+                    })
                 };
                 core.log.end_op(sb)?;
                 written += result?;
@@ -574,7 +628,14 @@ impl FileSystem for Xv6FileSystem {
         })
     }
 
-    fn fsync(&self, _req: &Request, sb: &SuperBlock, _ino: u64, _fh: u64, _datasync: bool) -> KernelResult<()> {
+    fn fsync(
+        &self,
+        _req: &Request,
+        sb: &SuperBlock,
+        _ino: u64,
+        _fh: u64,
+        _datasync: bool,
+    ) -> KernelResult<()> {
         self.with_core(|core| {
             core.stats.lock().fsyncs += 1;
             // All transactions commit synchronously at end_op, so the data
@@ -585,7 +646,13 @@ impl FileSystem for Xv6FileSystem {
         })
     }
 
-    fn readdir(&self, _req: &Request, sb: &SuperBlock, ino: u64, _fh: u64) -> KernelResult<Vec<DirEntry>> {
+    fn readdir(
+        &self,
+        _req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        _fh: u64,
+    ) -> KernelResult<Vec<DirEntry>> {
         self.with_core(|core| {
             let inum = ino as u32;
             let inode = core.icache.get(inum);
@@ -595,7 +662,10 @@ impl FileSystem for Xv6FileSystem {
                 *guard
             };
             if !data.is_dir() {
-                return Err(KernelError::with_context(Errno::NotDir, "xv6fs: readdir on non-directory"));
+                return Err(KernelError::with_context(
+                    Errno::NotDir,
+                    "xv6fs: readdir on non-directory",
+                ));
             }
             core.dir_entries(sb, &mut data)
         })
@@ -619,13 +689,19 @@ impl FileSystem for Xv6FileSystem {
             bundle.put("log_commits", &log_stats.commits)?;
             bundle.put("log_blocks", &log_stats.blocks_logged)?;
             bundle.put("log_recoveries", &log_stats.recoveries)?;
-            let opens: Vec<(u32, u32)> = core.opens.lock().iter().map(|(k, v)| (*k, *v)).collect();
+            let mut opens: Vec<(u32, u32)> = Vec::new();
+            core.opens.for_each(|k, v| opens.push((*k, *v)));
             bundle.put("open_files", &opens)?;
             Ok(bundle)
         })
     }
 
-    fn restore_state(&self, req: &Request, sb: &SuperBlock, state: StateBundle) -> KernelResult<()> {
+    fn restore_state(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        state: StateBundle,
+    ) -> KernelResult<()> {
         // Attach to the device exactly like a normal mount (superblock read,
         // log recovery), then layer the transferred in-memory state on top.
         self.init(req, sb)?;
@@ -646,9 +722,8 @@ impl FileSystem for Xv6FileSystem {
                 recoveries: state.get_opt("log_recoveries")?.unwrap_or(0),
             });
             if let Some(opens) = state.get_opt::<Vec<(u32, u32)>>("open_files")? {
-                let mut map = core.opens.lock();
                 for (inum, count) in opens {
-                    map.insert(inum, count);
+                    core.opens.insert(inum, count);
                 }
             }
             Ok(())

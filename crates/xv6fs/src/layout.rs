@@ -145,11 +145,10 @@ impl DiskSuperblock {
 
     /// First block usable for file data.
     pub fn data_start(&self) -> u64 {
-        // Everything before the data area: boot, super, log, inode blocks,
-        // bitmap blocks.
-        let inode_blocks = (self.ninodes as u64).div_ceil(IPB as u64);
+        // Everything before the data area (boot, super, log, inode blocks)
+        // already ends at `bmapstart`; only the bitmap blocks follow it.
         let bitmap_blocks = (self.size as u64).div_ceil(BPB as u64);
-        self.bmapstart as u64 + bitmap_blocks.max(1) + 0 * inode_blocks
+        self.bmapstart as u64 + bitmap_blocks.max(1)
     }
 }
 
@@ -326,7 +325,7 @@ mod tests {
         assert_eq!(NINDIRECT, 1024);
         // Double indirect support takes the maximum file size past 4 GiB.
         assert!(MAXFILE as u64 * BSIZE as u64 >= 4 * 1024 * 1024 * 1024);
-        assert!(LOGSIZE > MAXOPBLOCKS + 1);
+        const { assert!(LOGSIZE > MAXOPBLOCKS + 1) };
     }
 
     #[test]
@@ -354,7 +353,14 @@ mod tests {
         for (i, a) in addrs.iter_mut().enumerate() {
             *a = 1000 + i as u32;
         }
-        let di = Dinode { ftype: T_FILE, major: 3, minor: 9, nlink: 2, size: u32::MAX as u64 + 17, addrs };
+        let di = Dinode {
+            ftype: T_FILE,
+            major: 3,
+            minor: 9,
+            nlink: 2,
+            size: u32::MAX as u64 + 17,
+            addrs,
+        };
         let mut buf = vec![0u8; BSIZE];
         di.encode(&mut buf, 3 * INODE_SIZE);
         assert_eq!(Dinode::decode(&buf, 3 * INODE_SIZE), di);

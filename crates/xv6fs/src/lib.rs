@@ -114,12 +114,15 @@ mod tests {
         // Straddle a block boundary with an odd-sized pattern.
         let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 253) as u8).collect();
         fs.write_page(attr.ino, 0, &vec![0u8; PAGE_SIZE], 0).unwrap(); // no-op beyond size
-        // Write through the fileops write path via write_pages batching.
-        let pages: Vec<Vec<u8>> = payload.chunks(PAGE_SIZE).map(|c| {
-            let mut p = c.to_vec();
-            p.resize(PAGE_SIZE, 0);
-            p
-        }).collect();
+                                                                       // Write through the fileops write path via write_pages batching.
+        let pages: Vec<Vec<u8>> = payload
+            .chunks(PAGE_SIZE)
+            .map(|c| {
+                let mut p = c.to_vec();
+                p.resize(PAGE_SIZE, 0);
+                p
+            })
+            .collect();
         let refs: Vec<&[u8]> = pages.iter().map(|p| p.as_slice()).collect();
         fs.write_pages(attr.ino, 0, &refs, payload.len() as u64).unwrap();
         assert_eq!(fs.getattr(attr.ino).unwrap().size, payload.len() as u64);

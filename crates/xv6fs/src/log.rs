@@ -111,10 +111,16 @@ impl Log {
     pub fn log_write(&self, blockno: u64) -> KernelResult<()> {
         let mut inner = self.inner.lock();
         if inner.outstanding == 0 {
-            return Err(KernelError::with_context(Errno::Inval, "xv6fs: log_write outside transaction"));
+            return Err(KernelError::with_context(
+                Errno::Inval,
+                "xv6fs: log_write outside transaction",
+            ));
         }
         if inner.blocks.len() >= self.size - 1 {
-            return Err(KernelError::with_context(Errno::NoSpc, "xv6fs: transaction too large for log"));
+            return Err(KernelError::with_context(
+                Errno::NoSpc,
+                "xv6fs: transaction too large for log",
+            ));
         }
         // Absorption: a block modified twice in one transaction is logged once.
         if !inner.blocks.contains(&blockno) {
@@ -158,7 +164,7 @@ impl Log {
 
     /// Commits `blocks`: log, barrier, install, clear, barrier.
     fn commit(&self, sb: &SuperBlock, blocks: &[u64]) -> KernelResult<()> {
-        debug_assert!(blocks.len() <= self.size - 1);
+        debug_assert!(blocks.len() < self.size);
         // 1. Copy modified blocks from the buffer cache into the log area.
         for (i, &home) in blocks.iter().enumerate() {
             let src = sb.bread(home)?;
@@ -244,7 +250,8 @@ mod tests {
 
     fn setup() -> (SuperBlock, Log) {
         let dev = Arc::new(RamDisk::new(BSIZE as u32, 1024));
-        let sb = bento::userspace::userspace_superblock(Arc::new(KernelBlockIo::new(dev, 512)), "test");
+        let sb =
+            bento::userspace::userspace_superblock(Arc::new(KernelBlockIo::new(dev, 512)), "test");
         let dsb = DiskSuperblock {
             magic: crate::layout::FSMAGIC,
             size: 1024,
@@ -304,7 +311,10 @@ mod tests {
     fn group_commit_combines_concurrent_ops() {
         use std::thread;
         let dev = Arc::new(RamDisk::new(BSIZE as u32, 2048));
-        let sb = Arc::new(bento::userspace::userspace_superblock(Arc::new(KernelBlockIo::new(dev, 1024)), "test"));
+        let sb = Arc::new(bento::userspace::userspace_superblock(
+            Arc::new(KernelBlockIo::new(dev, 1024)),
+            "test",
+        ));
         let dsb = DiskSuperblock {
             magic: crate::layout::FSMAGIC,
             size: 2048,

@@ -10,8 +10,7 @@ use simkernel::dev::BlockDevice;
 use simkernel::error::{Errno, KernelError, KernelResult};
 
 use crate::layout::{
-    Dinode, Dirent, DiskSuperblock, BPB, BSIZE, DIRENT_SIZE, FSMAGIC, IPB, LOGSIZE, ROOT_INO,
-    T_DIR,
+    Dinode, Dirent, DiskSuperblock, BPB, BSIZE, DIRENT_SIZE, FSMAGIC, IPB, LOGSIZE, ROOT_INO, T_DIR,
 };
 
 /// Formats `dev` with an empty xv6 file system containing only the root
@@ -25,7 +24,10 @@ use crate::layout::{
 /// plus at least a handful of data blocks; propagates device errors.
 pub fn mkfs_on_device(dev: &Arc<dyn BlockDevice>, ninodes: u32) -> KernelResult<DiskSuperblock> {
     if dev.block_size() as usize != BSIZE {
-        return Err(KernelError::with_context(Errno::Inval, "mkfs: device block size must be 4096"));
+        return Err(KernelError::with_context(
+            Errno::Inval,
+            "mkfs: device block size must be 4096",
+        ));
     }
     let size = dev.num_blocks();
     let ninodes = ninodes.max(IPB as u32);

@@ -1,9 +1,14 @@
-//! Property-based tests for the xv6 on-disk format and for the file system's
-//! observable behaviour against a simple in-memory model.
+//! Property-style tests for the xv6 on-disk format and for the file
+//! system's observable behaviour against a simple in-memory model.
+//!
+//! The build environment has no registry access, so instead of `proptest`
+//! these run many seeded-random cases through the same properties: every
+//! case is reproducible from its printed seed.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
 
 use bento::bentofs::BentoFs;
 use simkernel::dev::{BlockDevice, RamDisk};
@@ -16,48 +21,64 @@ fn mount_fresh(blocks: u64) -> Arc<BentoFs> {
     xv6fs::fstype().mount_on(dev).expect("mount")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
-
-    /// Dinode serialization is a bijection for every field value.
-    #[test]
-    fn dinode_roundtrips(
-        ftype in 0u16..4,
-        major in any::<u16>(),
-        minor in any::<u16>(),
-        nlink in any::<u16>(),
-        size in any::<u64>(),
-        addrs in prop::collection::vec(any::<u32>(), NDIRECT + 2)
-    ) {
-        let mut fixed = [0u32; NDIRECT + 2];
-        fixed.copy_from_slice(&addrs);
-        let d = Dinode { ftype, major, minor, nlink, size, addrs: fixed };
+/// Dinode serialization is a bijection for arbitrary field values.
+#[test]
+fn dinode_roundtrips() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1_0000 + case);
+        let mut addrs = [0u32; NDIRECT + 2];
+        for slot in addrs.iter_mut() {
+            *slot = rng.next_u64() as u32;
+        }
+        let d = Dinode {
+            ftype: rng.gen_range(0u16..4),
+            major: rng.next_u64() as u16,
+            minor: rng.next_u64() as u16,
+            nlink: rng.next_u64() as u16,
+            size: rng.next_u64(),
+            addrs,
+        };
         let mut buf = vec![0u8; BSIZE];
         let slot = 7;
         d.encode(&mut buf, slot * 128);
-        prop_assert_eq!(Dinode::decode(&buf, slot * 128), d);
+        assert_eq!(Dinode::decode(&buf, slot * 128), d, "case {case}");
     }
+}
 
-    /// Dirent names survive encoding for every legal name.
-    #[test]
-    fn dirent_roundtrips(inum in any::<u32>(), name in "[a-zA-Z0-9_.-]{1,28}") {
+fn random_name(rng: &mut SmallRng, alphabet: &[u8], len: usize) -> String {
+    (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char).collect()
+}
+
+/// Dirent names survive encoding for every legal name.
+#[test]
+fn dirent_roundtrips() {
+    let alphabet = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-";
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD2_0000 + case);
+        let inum = rng.next_u64() as u32;
+        let len = rng.gen_range(1..=28);
+        let name = random_name(&mut rng, alphabet, len);
         let d = Dirent { inum, name: name.clone() };
         let mut buf = vec![0u8; 32];
         d.encode(&mut buf, 0).expect("legal name");
         let back = Dirent::decode(&buf, 0);
-        prop_assert_eq!(back.inum, inum);
-        prop_assert_eq!(back.name, name);
+        assert_eq!(back.inum, inum, "case {case}");
+        assert_eq!(back.name, name, "case {case}");
     }
+}
 
-    /// Superblock decoding accepts exactly what encoding produced and rejects
-    /// corrupted magic numbers.
-    #[test]
-    fn superblock_roundtrip_and_magic(size in 1u32..1_000_000, ninodes in 1u32..100_000) {
+/// Superblock decoding accepts exactly what encoding produced and rejects
+/// corrupted magic numbers.
+#[test]
+fn superblock_roundtrip_and_magic() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD3_0000 + case);
+        let size: u32 = rng.gen_range(1..1_000_000);
         let sb = DiskSuperblock {
             magic: FSMAGIC,
             size,
             nblocks: size / 2,
-            ninodes,
+            ninodes: rng.gen_range(1u32..100_000),
             nlog: 257,
             logstart: 2,
             inodestart: 300,
@@ -65,46 +86,54 @@ proptest! {
         };
         let mut buf = vec![0u8; BSIZE];
         sb.encode(&mut buf);
-        prop_assert_eq!(DiskSuperblock::decode(&buf).unwrap(), sb);
+        assert_eq!(DiskSuperblock::decode(&buf).unwrap(), sb, "case {case}");
         buf[3] ^= 0x40;
-        prop_assert!(DiskSuperblock::decode(&buf).is_err());
-    }
-
-    /// Names longer than DIRSIZ or containing separators are rejected.
-    #[test]
-    fn illegal_names_rejected(name in "[a-z/]{0,40}") {
-        let verdict = xv6fs::layout::validate_name(&name);
-        let legal = !name.is_empty() && name.len() <= DIRSIZ && !name.contains('/');
-        prop_assert_eq!(verdict.is_ok(), legal);
+        assert!(DiskSuperblock::decode(&buf).is_err(), "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
+/// Names longer than DIRSIZ or containing separators are rejected.
+#[test]
+fn illegal_names_rejected() {
+    let alphabet = b"abcdefghijklmnopqrstuvwxyz/";
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD4_0000 + case);
+        let len = rng.gen_range(0..=40);
+        let name = random_name(&mut rng, alphabet, len);
+        let verdict = xv6fs::layout::validate_name(&name);
+        let legal = !name.is_empty() && name.len() <= DIRSIZ && !name.contains('/');
+        assert_eq!(verdict.is_ok(), legal, "case {case}: name {name:?}");
+    }
+}
 
-    /// Writing arbitrary slices at arbitrary (small) offsets and truncating
-    /// produces exactly the bytes a plain Vec<u8> model predicts, read back
-    /// through page-granular reads.
-    #[test]
-    fn write_truncate_matches_model(
-        ops in prop::collection::vec(
-            (0u64..(6 * PAGE_SIZE as u64), prop::collection::vec(any::<u8>(), 1..2 * PAGE_SIZE), prop::option::of(0u64..(8 * PAGE_SIZE as u64))),
-            1..8
-        )
-    ) {
+/// Writing arbitrary slices at arbitrary (small) offsets and truncating
+/// produces exactly the bytes a plain `Vec<u8>` model predicts, read back
+/// through page-granular reads.
+#[test]
+fn write_truncate_matches_model() {
+    for case in 0..10u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD5_0000 + case);
         let fs = mount_fresh(4096);
         let file = fs.create(1, "model", FileMode::regular()).expect("create");
         let mut model: Vec<u8> = Vec::new();
 
-        for (offset, data, maybe_truncate) in &ops {
-            // Apply the write through the (batched) writepages path.
-            let end = *offset as usize + data.len();
+        for _ in 0..rng.gen_range(1..8usize) {
+            let offset: u64 = rng.gen_range(0..(6 * PAGE_SIZE as u64));
+            let len: usize = rng.gen_range(1..2 * PAGE_SIZE);
+            let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let maybe_truncate: Option<u64> = if rng.gen::<bool>() {
+                Some(rng.gen_range(0..(8 * PAGE_SIZE as u64)))
+            } else {
+                None
+            };
+
+            let end = offset as usize + data.len();
             if model.len() < end {
                 model.resize(end, 0);
             }
-            model[*offset as usize..end].copy_from_slice(data);
+            model[offset as usize..end].copy_from_slice(&data);
             // Mirror into the fs: write page-aligned chunks covering the range.
-            let first_page = *offset / PAGE_SIZE as u64;
+            let first_page = offset / PAGE_SIZE as u64;
             let last_page = (end as u64 - 1) / PAGE_SIZE as u64;
             for page in first_page..=last_page {
                 let mut page_buf = vec![0u8; PAGE_SIZE];
@@ -116,12 +145,12 @@ proptest! {
                 fs.write_page(file.ino, page, &page_buf, model.len() as u64).expect("write_page");
             }
             if let Some(new_len) = maybe_truncate {
-                fs.setattr(file.ino, &SetAttr::truncate(*new_len)).expect("truncate");
-                model.resize(*new_len as usize, 0);
+                fs.setattr(file.ino, &SetAttr::truncate(new_len)).expect("truncate");
+                model.resize(new_len as usize, 0);
             }
         }
 
-        prop_assert_eq!(fs.getattr(file.ino).expect("getattr").size, model.len() as u64);
+        assert_eq!(fs.getattr(file.ino).expect("getattr").size, model.len() as u64, "case {case}");
         let mut back = vec![0u8; model.len()];
         let mut read = 0usize;
         while read < back.len() {
@@ -129,10 +158,10 @@ proptest! {
             let mut page_buf = vec![0u8; PAGE_SIZE];
             let n = fs.read_page(file.ino, page, &mut page_buf).expect("read_page");
             let take = n.min(back.len() - read);
-            prop_assert!(take > 0, "unexpected EOF at {}", read);
+            assert!(take > 0, "case {case}: unexpected EOF at {read}");
             back[read..read + take].copy_from_slice(&page_buf[..take]);
             read += take;
         }
-        prop_assert_eq!(back, model);
+        assert_eq!(back, model, "case {case}");
     }
 }

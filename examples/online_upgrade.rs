@@ -33,7 +33,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     // An "application" writes a log file continuously and never closes it.
     let app_vfs = Arc::clone(&vfs);
     let writer = thread::spawn(move || -> Result<u64, simkernel::error::KernelError> {
-        let fd = app_vfs.open("/app.log", OpenFlags::WRONLY.with(OpenFlags::CREAT).with(OpenFlags::APPEND))?;
+        let fd = app_vfs
+            .open("/app.log", OpenFlags::WRONLY.with(OpenFlags::CREAT).with(OpenFlags::APPEND))?;
         let mut lines = 0u64;
         for i in 0..400u32 {
             app_vfs.write(fd, format!("log line {i}\n").as_bytes())?;

@@ -17,7 +17,9 @@ use bento::fileops::{CreateReply, FileSystem, Request};
 use parking_lot::Mutex;
 use simkernel::dev::{BlockDevice, RamDisk};
 use simkernel::error::KernelResult;
-use simkernel::vfs::{DirEntry, FileMode, InodeAttr, MountOptions, OpenFlags, SetAttr, StatFs, Vfs};
+use simkernel::vfs::{
+    DirEntry, FileMode, InodeAttr, MountOptions, OpenFlags, SetAttr, StatFs, Vfs,
+};
 use xv6fs::Xv6FileSystem;
 
 /// A stackable Bento file system: every operation is forwarded to the lower
@@ -52,7 +54,13 @@ impl FileSystem for AuditFs {
         self.lower.statfs(req, sb)
     }
 
-    fn lookup(&self, req: &Request, sb: &SuperBlock, parent: u64, name: &str) -> KernelResult<InodeAttr> {
+    fn lookup(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        parent: u64,
+        name: &str,
+    ) -> KernelResult<InodeAttr> {
         self.ops.fetch_add(1, Ordering::Relaxed);
         self.lower.lookup(req, sb, parent, name)
     }
@@ -62,7 +70,13 @@ impl FileSystem for AuditFs {
         self.lower.getattr(req, sb, ino)
     }
 
-    fn setattr(&self, req: &Request, sb: &SuperBlock, ino: u64, set: &SetAttr) -> KernelResult<InodeAttr> {
+    fn setattr(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        set: &SetAttr,
+    ) -> KernelResult<InodeAttr> {
         self.ops.fetch_add(1, Ordering::Relaxed);
         self.lower.setattr(req, sb, ino, set)
     }
@@ -81,7 +95,14 @@ impl FileSystem for AuditFs {
         self.lower.create(req, sb, parent, name, mode, flags)
     }
 
-    fn mkdir(&self, req: &Request, sb: &SuperBlock, parent: u64, name: &str, mode: FileMode) -> KernelResult<InodeAttr> {
+    fn mkdir(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        parent: u64,
+        name: &str,
+        mode: FileMode,
+    ) -> KernelResult<InodeAttr> {
         self.ops.fetch_add(1, Ordering::Relaxed);
         self.note(format!("mkdir {name} in dir {parent}"));
         self.lower.mkdir(req, sb, parent, name, mode)
@@ -112,7 +133,13 @@ impl FileSystem for AuditFs {
         self.lower.rename(req, sb, parent, name, newparent, newname)
     }
 
-    fn open(&self, req: &Request, sb: &SuperBlock, ino: u64, flags: OpenFlags) -> KernelResult<u64> {
+    fn open(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        flags: OpenFlags,
+    ) -> KernelResult<u64> {
         self.ops.fetch_add(1, Ordering::Relaxed);
         self.lower.open(req, sb, ino, flags)
     }
@@ -121,22 +148,51 @@ impl FileSystem for AuditFs {
         self.lower.release(req, sb, ino, fh)
     }
 
-    fn read(&self, req: &Request, sb: &SuperBlock, ino: u64, fh: u64, offset: u64, size: u32) -> KernelResult<Vec<u8>> {
+    fn read(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        fh: u64,
+        offset: u64,
+        size: u32,
+    ) -> KernelResult<Vec<u8>> {
         self.ops.fetch_add(1, Ordering::Relaxed);
         self.lower.read(req, sb, ino, fh, offset, size)
     }
 
-    fn write(&self, req: &Request, sb: &SuperBlock, ino: u64, fh: u64, offset: u64, data: &[u8]) -> KernelResult<usize> {
+    fn write(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        fh: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> KernelResult<usize> {
         self.ops.fetch_add(1, Ordering::Relaxed);
         self.note(format!("write {} bytes to inode {ino} at {offset}", data.len()));
         self.lower.write(req, sb, ino, fh, offset, data)
     }
 
-    fn fsync(&self, req: &Request, sb: &SuperBlock, ino: u64, fh: u64, datasync: bool) -> KernelResult<()> {
+    fn fsync(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        fh: u64,
+        datasync: bool,
+    ) -> KernelResult<()> {
         self.lower.fsync(req, sb, ino, fh, datasync)
     }
 
-    fn readdir(&self, req: &Request, sb: &SuperBlock, ino: u64, fh: u64) -> KernelResult<Vec<DirEntry>> {
+    fn readdir(
+        &self,
+        req: &Request,
+        sb: &SuperBlock,
+        ino: u64,
+        fh: u64,
+    ) -> KernelResult<Vec<DirEntry>> {
         self.ops.fetch_add(1, Ordering::Relaxed);
         self.lower.readdir(req, sb, ino, fh)
     }

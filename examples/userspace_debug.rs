@@ -39,8 +39,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     fs.release(&req, &sb, reply.attr.ino, reply.fh)?;
 
     println!("read back: {:?}", String::from_utf8_lossy(&data));
-    println!("directory entries in /: {:?}",
-        fs.readdir(&req, &sb, 1, 0)?.iter().map(|e| e.name.clone()).collect::<Vec<_>>());
+    println!(
+        "directory entries in /: {:?}",
+        fs.readdir(&req, &sb, 1, 0)?.iter().map(|e| e.name.clone()).collect::<Vec<_>>()
+    );
     println!("log stats: {:?}", fs.log_stats());
     println!("userspace block-I/O crossings charged: {}", counters.snapshot().crossings);
     println!("whole-disk-file fsyncs charged: {}", counters.snapshot().whole_file_syncs);

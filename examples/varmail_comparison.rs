@@ -15,7 +15,9 @@ use workloads::{mount_stack, varmail, FsStack};
 fn main() -> Result<(), Box<dyn Error>> {
     let model = CostModel::nvme_ssd_scaled(2);
     let duration = Duration::from_millis(400);
-    println!("varmail (mail server mix: create/append/fsync/read/delete), {duration:?} per stack\n");
+    println!(
+        "varmail (mail server mix: create/append/fsync/read/delete), {duration:?} per stack\n"
+    );
     let mut results = Vec::new();
     for stack in [FsStack::BentoXv6, FsStack::VfsXv6, FsStack::FuseXv6, FsStack::Ext4] {
         let mounted = mount_stack(stack, model.clone(), 48 * 1024)?;

@@ -1,0 +1,21 @@
+//! Umbrella crate for the Bento (FAST '21) reproduction workspace.
+//!
+//! The actual implementation lives in the member crates:
+//!
+//! * [`simkernel`] — the simulated kernel substrate (devices, buffer cache,
+//!   page cache, VFS, sharded concurrency primitives).
+//! * [`bento`] — the Bento framework (BentoFS, BentoKS, upgrade, userspace).
+//! * [`xv6fs`] / [`xv6fs_vfs`] / [`fusesim`] / [`ext4sim`] — the four
+//!   evaluated file system stacks.
+//! * [`workloads`] — the filebench-style workload generators.
+//!
+//! This root package exists to host the cross-crate integration tests under
+//! `tests/` and the runnable examples under `examples/`.
+
+pub use bento;
+pub use ext4sim;
+pub use fusesim;
+pub use simkernel;
+pub use workloads;
+pub use xv6fs;
+pub use xv6fs_vfs;

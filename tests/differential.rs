@@ -66,7 +66,8 @@ fn observe(vfs: &Arc<Vfs>, dir: &str, out: &mut BTreeMap<String, (bool, u64, u64
         if entry.name == "." || entry.name == ".." {
             continue;
         }
-        let path = if dir == "/" { format!("/{}", entry.name) } else { format!("{dir}/{}", entry.name) };
+        let path =
+            if dir == "/" { format!("/{}", entry.name) } else { format!("{dir}/{}", entry.name) };
         let attr = vfs.stat(&path).expect("stat");
         if attr.kind == simkernel::vfs::FileType::Directory {
             out.insert(path.clone(), (true, 0, 0));
@@ -86,9 +87,9 @@ fn observe(vfs: &Arc<Vfs>, dir: &str, out: &mut BTreeMap<String, (bool, u64, u64
             }
             vfs.close(fd).expect("close");
             // Cheap stable content fingerprint.
-            let hash = content.iter().fold(1469598103934665603u64, |h, &b| {
-                (h ^ b as u64).wrapping_mul(1099511628211)
-            });
+            let hash = content
+                .iter()
+                .fold(1469598103934665603u64, |h, &b| (h ^ b as u64).wrapping_mul(1099511628211));
             out.insert(path.clone(), (false, attr.size, hash));
         }
     }
@@ -96,7 +97,8 @@ fn observe(vfs: &Arc<Vfs>, dir: &str, out: &mut BTreeMap<String, (bool, u64, u64
 
 fn scripted_ops(seed: u64, count: usize) -> Vec<Op> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut ops = vec![Op::Mkdir("/d0".into()), Op::Mkdir("/d1".into()), Op::Mkdir("/d0/nested".into())];
+    let mut ops =
+        vec![Op::Mkdir("/d0".into()), Op::Mkdir("/d1".into()), Op::Mkdir("/d0/nested".into())];
     let dirs = ["/", "/d0", "/d1", "/d0/nested"];
     for i in 0..count {
         let dir = dirs[rng.gen_range(0..dirs.len())];
@@ -175,13 +177,24 @@ fn bento_and_vfs_baseline_agree_after_remount() {
             match stack {
                 FsStack::BentoXv6 => {
                     vfs.register_filesystem(Arc::new(xv6fs::fstype())).expect("register");
-                    vfs.mount(xv6fs::BENTO_XV6_NAME, Arc::clone(&device_dyn), "/", &MountOptions::default())
-                        .expect("mount");
+                    vfs.mount(
+                        xv6fs::BENTO_XV6_NAME,
+                        Arc::clone(&device_dyn),
+                        "/",
+                        &MountOptions::default(),
+                    )
+                    .expect("mount");
                 }
                 _ => {
-                    vfs.register_filesystem(Arc::new(xv6fs_vfs::Xv6VfsFilesystemType)).expect("register");
-                    vfs.mount(xv6fs_vfs::VFS_XV6_NAME, Arc::clone(&device_dyn), "/", &MountOptions::default())
-                        .expect("mount");
+                    vfs.register_filesystem(Arc::new(xv6fs_vfs::Xv6VfsFilesystemType))
+                        .expect("register");
+                    vfs.mount(
+                        xv6fs_vfs::VFS_XV6_NAME,
+                        Arc::clone(&device_dyn),
+                        "/",
+                        &MountOptions::default(),
+                    )
+                    .expect("mount");
                 }
             }
             for op in &ops {
@@ -193,7 +206,8 @@ fn bento_and_vfs_baseline_agree_after_remount() {
         // format) and observe.
         let vfs = Arc::new(Vfs::default());
         vfs.register_filesystem(Arc::new(xv6fs::fstype())).expect("register");
-        vfs.mount(xv6fs::BENTO_XV6_NAME, device_dyn, "/", &MountOptions::default()).expect("remount");
+        vfs.mount(xv6fs::BENTO_XV6_NAME, device_dyn, "/", &MountOptions::default())
+            .expect("remount");
         let mut state = BTreeMap::new();
         observe(&vfs, "/", &mut state);
         states.push(state);
