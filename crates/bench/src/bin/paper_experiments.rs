@@ -10,8 +10,9 @@ use std::collections::BTreeSet;
 
 use bench::{
     fig2_read_4k, fig3_read_throughput, fig4_write_throughput, print_rows, rows_to_json,
-    scaling_experiment, table1_bug_analysis, table2_mechanism_comparison, table4_create,
-    table5_delete, table6_macrobenchmarks, ExperimentConfig, Row,
+    scaling_experiment, scaling_experiment_with_threads, table1_bug_analysis,
+    table2_mechanism_comparison, table4_create, table5_delete, table6_macrobenchmarks,
+    ExperimentConfig, Row, SCALING_SMOKE_THREADS,
 };
 
 fn main() {
@@ -39,20 +40,23 @@ fn main() {
     );
 
     let mut all_rows: Vec<Row> = Vec::new();
-    fn run(
-        all_rows: &mut Vec<Row>,
-        name: &str,
-        rows: Result<Vec<Row>, simkernel::error::KernelError>,
-        title: &str,
-    ) {
+    let mut failures = 0usize;
+    let run = |all_rows: &mut Vec<Row>,
+               failures: &mut usize,
+               name: &str,
+               rows: Result<Vec<Row>, simkernel::error::KernelError>,
+               title: &str| {
         match rows {
             Ok(rows) => {
                 print_rows(title, &rows);
                 all_rows.extend(rows);
             }
-            Err(e) => eprintln!("{name} failed: {e}"),
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                *failures += 1;
+            }
         }
-    }
+    };
 
     if selected.contains("table1") {
         let rows = table1_bug_analysis();
@@ -71,17 +75,25 @@ fn main() {
     if selected.contains("fig2") {
         run(
             &mut all_rows,
+            &mut failures,
             "fig2",
             fig2_read_4k(&cfg),
             "Figure 2: 4 KiB read performance (ops/sec)",
         );
     }
     if selected.contains("fig3") {
-        run(&mut all_rows, "fig3", fig3_read_throughput(&cfg), "Figure 3: read throughput (MB/s)");
+        run(
+            &mut all_rows,
+            &mut failures,
+            "fig3",
+            fig3_read_throughput(&cfg),
+            "Figure 3: read throughput (MB/s)",
+        );
     }
     if selected.contains("fig4") {
         run(
             &mut all_rows,
+            &mut failures,
             "fig4",
             fig4_write_throughput(&cfg),
             "Figure 4: write throughput (MB/s)",
@@ -90,6 +102,7 @@ fn main() {
     if selected.contains("table4") {
         run(
             &mut all_rows,
+            &mut failures,
             "table4",
             table4_create(&cfg),
             "Table 4: create microbenchmark (ops/sec)",
@@ -98,27 +111,54 @@ fn main() {
     if selected.contains("table5") {
         run(
             &mut all_rows,
+            &mut failures,
             "table5",
             table5_delete(&cfg),
             "Table 5: delete microbenchmark (ops/sec)",
         );
     }
     if selected.contains("table6") {
-        run(&mut all_rows, "table6", table6_macrobenchmarks(&cfg), "Table 6: macrobenchmarks");
+        run(
+            &mut all_rows,
+            &mut failures,
+            "table6",
+            table6_macrobenchmarks(&cfg),
+            "Table 6: macrobenchmarks",
+        );
     }
     if selected.contains("scaling") {
         run(
             &mut all_rows,
+            &mut failures,
             "scaling",
             scaling_experiment(&cfg),
-            "Scaling: 1-32 threads, zero-cost device, disjoint files (ops/sec)",
+            "Scaling: 1-32 threads, zero-cost device, disjoint files (ops/sec + write-path batching)",
+        );
+    }
+    if selected.contains("scaling-smoke") {
+        // CI smoke: 1 and 8 threads only, so the write-path counters (group
+        // commit batching, allocator spread) are exercised on every PR.
+        run(
+            &mut all_rows,
+            &mut failures,
+            "scaling-smoke",
+            scaling_experiment_with_threads(&cfg, &SCALING_SMOKE_THREADS),
+            "Scaling smoke: 1 and 8 threads, write-path batching counters",
         );
     }
 
     if let Some(path) = json_path {
         match std::fs::write(&path, rows_to_json(&all_rows)) {
             Ok(()) => println!("\nwrote {} rows to {path}", all_rows.len()),
-            Err(e) => eprintln!("failed to write {path}: {e}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                failures += 1;
+            }
         }
+    }
+    if failures > 0 {
+        // CI gates on this: a failed experiment must fail the run.
+        eprintln!("{failures} experiment(s) failed");
+        std::process::exit(1);
     }
 }

@@ -4,11 +4,13 @@ use std::time::Duration;
 
 use simkernel::cost::CostModel;
 use simkernel::error::KernelResult;
+use simkernel::vfs::{MountOptions, WritePathStats};
 
 use bugdb::BugStudy;
 use workloads::{
-    create_micro, delete_micro, fileserver, generate_linux_like_manifest, mount_stack, read_micro,
-    read_micro_disjoint, untar, varmail, write_micro, write_micro_disjoint, AccessPattern, FsStack,
+    create_micro, delete_micro, fileserver, generate_linux_like_manifest, mount_stack,
+    mount_stack_with, read_micro, read_micro_disjoint, untar, varmail, write_micro,
+    write_micro_disjoint, AccessPattern, FsStack, MountedStack,
 };
 
 use crate::report::Row;
@@ -390,6 +392,30 @@ pub fn table6_macrobenchmarks(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> 
 /// and 32 threads; the sweep fills in the curve between them.
 pub const SCALING_THREADS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
+/// The thread counts used by the CI smoke run of the scaling sweep.
+pub const SCALING_SMOKE_THREADS: [usize; 2] = [1, 8];
+
+/// Write-path batching counters accumulated by a mounted stack since a
+/// snapshot (see [`write_path_snapshot`] / [`write_path_delta`]).
+fn write_path_snapshot(mounted: &MountedStack) -> Option<WritePathStats> {
+    mounted.vfs.mounted_fs("/").ok()?.write_path_stats()
+}
+
+fn write_path_delta(before: &WritePathStats, after: &WritePathStats) -> WritePathStats {
+    WritePathStats {
+        log_commits: after.log_commits.saturating_sub(before.log_commits),
+        log_ops: after.log_ops.saturating_sub(before.log_ops),
+        log_blocks: after.log_blocks.saturating_sub(before.log_blocks),
+        log_barriers: after.log_barriers.saturating_sub(before.log_barriers),
+        alloc_per_group: after
+            .alloc_per_group
+            .iter()
+            .zip(before.alloc_per_group.iter().chain(std::iter::repeat(&0)))
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect(),
+    }
+}
+
 /// Concurrency scaling sweep: 1 → 32 threads over the read / write / create
 /// microbenchmarks on the Bento and VFS stacks, with the device cost model
 /// *disabled* (zero-cost preset).
@@ -404,18 +430,39 @@ pub const SCALING_THREADS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 /// and the curve tracks available hardware parallelism.
 ///
 /// Rows are labelled `read-4k-rnd-Nt` / `write-4k-rnd-Nt` / `create-Nt`,
-/// reporting ops/s — this is what BENCH_*.json tracks as concurrency
-/// scaling rather than single-thread latency.
+/// reporting ops/s.  Each create point also reports the write-path
+/// batching counters the pipelined log and the allocation groups expose:
+/// `create-Nt-ops-per-commit` (group-commit batching factor),
+/// `create-Nt-barriers-per-op`, and `create-Nt-groups-used` (allocation
+/// spread).  A second pass re-runs create at [`SCALING_SMOKE_THREADS`]
+/// with the NVMe cost model (`create-nvme-Nt*` rows) — with real barrier
+/// costs, group commit must drive barriers-per-op *down* as threads go up —
+/// and sweeps the `alloc_groups` mount option on the Bento stack
+/// (`create-8t-gN` rows).  This is what BENCH_*.json tracks as write-path
+/// batching, not just ops/s.
 ///
 /// # Errors
 ///
 /// Propagates mount/workload errors.
 pub fn scaling_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
+    scaling_experiment_with_threads(cfg, &SCALING_THREADS)
+}
+
+/// [`scaling_experiment`] over an explicit thread list (the CI smoke run
+/// passes [`SCALING_SMOKE_THREADS`]).
+///
+/// # Errors
+///
+/// Propagates mount/workload errors.
+pub fn scaling_experiment_with_threads(
+    cfg: &ExperimentConfig,
+    thread_counts: &[usize],
+) -> KernelResult<Vec<Row>> {
     let model = CostModel::zero();
     let file_size_per_thread: u64 = 2 * 1024 * 1024;
     let mut rows = Vec::new();
     for stack in [FsStack::BentoXv6, FsStack::VfsXv6] {
-        for threads in SCALING_THREADS {
+        for &threads in thread_counts {
             // Fresh mount per point so earlier points cannot warm or
             // pollute later ones.
             let mounted = mount_stack(stack, model.clone(), cfg.disk_blocks)?;
@@ -451,6 +498,7 @@ pub fn scaling_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
                 "ops/sec",
                 None,
             ));
+            let before = write_path_snapshot(&mounted);
             let create = create_micro(&mounted.vfs, 4096, threads, cfg.duration)?;
             rows.push(Row::new(
                 "scaling",
@@ -460,10 +508,103 @@ pub fn scaling_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
                 "ops/sec",
                 None,
             ));
+            if let (Some(before), Some(after)) = (before, write_path_snapshot(&mounted)) {
+                let delta = write_path_delta(&before, &after);
+                rows.push(Row::new(
+                    "scaling",
+                    &format!("create-{threads}t-ops-per-commit"),
+                    stack.label(),
+                    delta.ops_per_commit(),
+                    "ops/commit",
+                    None,
+                ));
+                rows.push(Row::new(
+                    "scaling",
+                    &format!("create-{threads}t-barriers-per-op"),
+                    stack.label(),
+                    delta.barriers_per_op(),
+                    "barriers/op",
+                    None,
+                ));
+                rows.push(Row::new(
+                    "scaling",
+                    &format!("create-{threads}t-groups-used"),
+                    stack.label(),
+                    delta.groups_used() as f64,
+                    "groups",
+                    None,
+                ));
+            }
             mounted.unmount()?;
         }
     }
+    // With real barrier costs (NVMe model), group-commit batching must show
+    // up as fewer device barriers per operation at higher thread counts.
+    for stack in [FsStack::BentoXv6, FsStack::VfsXv6] {
+        for threads in SCALING_SMOKE_THREADS {
+            let (create, delta) =
+                create_with_write_path_stats(stack, cfg, &MountOptions::default(), threads)?;
+            rows.push(Row::new(
+                "scaling",
+                &format!("create-nvme-{threads}t"),
+                stack.label(),
+                create.ops_per_sec(),
+                "ops/sec",
+                None,
+            ));
+            if let Some(delta) = delta {
+                rows.push(Row::new(
+                    "scaling",
+                    &format!("create-nvme-{threads}t-barriers-per-op"),
+                    stack.label(),
+                    delta.barriers_per_op(),
+                    "barriers/op",
+                    None,
+                ));
+            }
+        }
+    }
+    // Allocation-group knob sweep through the mount options (1 group ==
+    // the old single-cursor allocator), Bento stack, 8 threads.
+    for groups in [1usize, 16] {
+        let options = MountOptions {
+            options: vec![("alloc_groups".into(), groups.to_string())],
+            read_only: false,
+        };
+        let mounted =
+            mount_stack_with(FsStack::BentoXv6, CostModel::zero(), cfg.disk_blocks, &options)?;
+        let create = create_micro(&mounted.vfs, 4096, 8, cfg.duration)?;
+        rows.push(Row::new(
+            "scaling",
+            &format!("create-8t-g{groups}"),
+            FsStack::BentoXv6.label(),
+            create.ops_per_sec(),
+            "ops/sec",
+            None,
+        ));
+        mounted.unmount()?;
+    }
     Ok(rows)
+}
+
+/// Mounts `stack` under the (scaled) NVMe cost model, runs `create_micro`
+/// with `threads` workers, and returns the result plus the write-path
+/// counter delta for the run.
+fn create_with_write_path_stats(
+    stack: FsStack,
+    cfg: &ExperimentConfig,
+    options: &MountOptions,
+    threads: usize,
+) -> KernelResult<(workloads::WorkloadResult, Option<WritePathStats>)> {
+    let mounted = mount_stack_with(stack, CostModel::nvme_ssd_scaled(8), cfg.disk_blocks, options)?;
+    let before = write_path_snapshot(&mounted);
+    let create = create_micro(&mounted.vfs, 4096, threads, cfg.duration)?;
+    let delta = match (before, write_path_snapshot(&mounted)) {
+        (Some(before), Some(after)) => Some(write_path_delta(&before, &after)),
+        _ => None,
+    };
+    mounted.unmount()?;
+    Ok((create, delta))
 }
 
 #[cfg(test)]
@@ -478,11 +619,11 @@ mod tests {
             disk_blocks: 48 * 1024,
             ..ExperimentConfig::quick()
         };
-        let rows = scaling_experiment(&cfg).expect("scaling sweep");
-        assert_eq!(rows.len(), 2 * SCALING_THREADS.len() * 3);
+        let rows =
+            scaling_experiment_with_threads(&cfg, &SCALING_SMOKE_THREADS).expect("scaling sweep");
         for stack in ["Bento", "C-Kernel"] {
-            for threads in SCALING_THREADS {
-                for prefix in ["read-4k-rnd", "write-4k-rnd", "create"] {
+            for threads in SCALING_SMOKE_THREADS {
+                for prefix in ["read-4k-rnd", "write-4k-rnd", "create", "create-nvme"] {
                     let config = format!("{prefix}-{threads}t");
                     let row = rows
                         .iter()
@@ -491,8 +632,61 @@ mod tests {
                     assert!(row.value > 0.0, "{stack}/{config} must do work");
                     assert_eq!(row.unit, "ops/sec");
                 }
+                // Per-run write-path counters ride along with every create
+                // point.
+                for (suffix, unit) in [
+                    ("ops-per-commit", "ops/commit"),
+                    ("barriers-per-op", "barriers/op"),
+                    ("groups-used", "groups"),
+                ] {
+                    let config = format!("create-{threads}t-{suffix}");
+                    let row = rows
+                        .iter()
+                        .find(|r| r.stack == stack && r.config == config)
+                        .unwrap_or_else(|| panic!("missing row {stack}/{config}"));
+                    assert!(row.value > 0.0, "{stack}/{config} must be populated");
+                    assert_eq!(row.unit, unit);
+                }
             }
         }
+        // The alloc-group knob sweep rows exist for the Bento stack.
+        for groups in [1, 16] {
+            assert!(
+                rows.iter()
+                    .any(|r| r.stack == "Bento" && r.config == format!("create-8t-g{groups}")),
+                "missing alloc-group sweep row g{groups}"
+            );
+        }
+    }
+
+    #[test]
+    fn nvme_create_batches_barriers_at_eight_threads() {
+        // The acceptance bar for the pipelined group-commit log: with real
+        // barrier costs, 8 concurrent creators must share commits, issuing
+        // at most half the device barriers per operation of a lone creator
+        // (which pays 2 barriers for every op).
+        let cfg = ExperimentConfig {
+            duration: Duration::from_millis(200),
+            disk_blocks: 48 * 1024,
+            ..ExperimentConfig::quick()
+        };
+        let rows = scaling_experiment_with_threads(&cfg, &[1]).expect("scaling sweep");
+        let barriers_per_op = |threads: usize| {
+            rows.iter()
+                .find(|r| {
+                    r.stack == "Bento"
+                        && r.config == format!("create-nvme-{threads}t-barriers-per-op")
+                })
+                .unwrap_or_else(|| panic!("missing nvme barriers row for {threads}t"))
+                .value
+        };
+        let single = barriers_per_op(1);
+        let grouped = barriers_per_op(8);
+        assert!(single > 1.5, "a lone creator pays ~2 barriers per op, got {single}");
+        assert!(
+            grouped * 2.0 <= single,
+            "8-thread create must batch ≥2×: {grouped} vs {single} barriers/op"
+        );
     }
 
     #[test]

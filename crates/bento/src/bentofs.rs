@@ -76,7 +76,23 @@ impl BentoFs {
         cache_blocks: usize,
         fs: Box<dyn FileSystem>,
     ) -> KernelResult<Arc<BentoFs>> {
-        let io = Arc::new(KernelBlockIo::new(device, cache_blocks));
+        Self::mount_sharded(name, device, cache_blocks, 0, fs)
+    }
+
+    /// Like [`BentoFs::mount`] with an explicit buffer-cache shard count
+    /// (`0` = default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `init` failures (the mount is aborted).
+    pub fn mount_sharded(
+        name: &str,
+        device: Arc<dyn BlockDevice>,
+        cache_blocks: usize,
+        cache_shards: usize,
+        fs: Box<dyn FileSystem>,
+    ) -> KernelResult<Arc<BentoFs>> {
+        let io = Arc::new(KernelBlockIo::with_shards(device, cache_blocks, cache_shards));
         let sb = SuperBlock::from_provider(io, name);
         fs.init(&Request::kernel(), &sb)?;
         Ok(Arc::new(BentoFs {
@@ -328,6 +344,10 @@ impl VfsFs for BentoFs {
         self.fs.read().sync_fs(&req, &self.sb)
     }
 
+    fn write_path_stats(&self) -> Option<simkernel::vfs::WritePathStats> {
+        self.fs.read().write_path_stats()
+    }
+
     fn destroy(&self) -> KernelResult<()> {
         let req = Request::kernel();
         self.fs.read().destroy(&req, &self.sb)
@@ -339,7 +359,9 @@ impl VfsFs for BentoFs {
 // ---------------------------------------------------------------------------
 
 /// Factory for file system instances, invoked at mount (and upgrade) time.
-pub type FsFactory = dyn Fn() -> Box<dyn FileSystem> + Send + Sync;
+/// It receives the mount options so implementations can expose tuning knobs
+/// (e.g. xv6fs's `alloc_groups`) the way kernel file systems parse `-o`.
+pub type FsFactory = dyn Fn(&MountOptions) -> Box<dyn FileSystem> + Send + Sync;
 
 /// A mountable Bento file system type: the object registered with the VFS.
 ///
@@ -362,11 +384,20 @@ impl std::fmt::Debug for BentoFsType {
 }
 
 impl BentoFsType {
-    /// Creates a file system type named `name` with the given instance
-    /// factory.
+    /// Creates a file system type named `name` with an options-blind
+    /// instance factory.
     pub fn new<F>(name: &str, factory: F) -> Self
     where
         F: Fn() -> Box<dyn FileSystem> + Send + Sync + 'static,
+    {
+        Self::with_options(name, move |_options| factory())
+    }
+
+    /// Creates a file system type whose factory receives the mount options
+    /// (the `-o` string) so the instance can apply per-mount tuning knobs.
+    pub fn with_options<F>(name: &str, factory: F) -> Self
+    where
+        F: Fn(&MountOptions) -> Box<dyn FileSystem> + Send + Sync + 'static,
     {
         BentoFsType {
             name: name.to_string(),
@@ -382,14 +413,38 @@ impl BentoFsType {
         self
     }
 
-    /// Mounts an instance over `device`, returning the concretely typed
-    /// wrapper (useful when the caller needs [`BentoFs::upgrade`]).
+    /// Mounts an instance over `device` with default options, returning the
+    /// concretely typed wrapper (useful when the caller needs
+    /// [`BentoFs::upgrade`]).
     ///
     /// # Errors
     ///
     /// Propagates `init` failures.
     pub fn mount_on(&self, device: Arc<dyn BlockDevice>) -> KernelResult<Arc<BentoFs>> {
-        BentoFs::mount(&self.name, device, self.cache_blocks, (self.factory)())
+        self.mount_on_with(device, &MountOptions::default())
+    }
+
+    /// Like [`BentoFsType::mount_on`] with explicit mount options.  The
+    /// `cache_shards` option tunes the per-mount buffer cache's shard count;
+    /// everything else is handed to the factory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `init` failures.
+    pub fn mount_on_with(
+        &self,
+        device: Arc<dyn BlockDevice>,
+        options: &MountOptions,
+    ) -> KernelResult<Arc<BentoFs>> {
+        let cache_shards =
+            options.get("cache_shards").and_then(|v| v.parse::<usize>().ok()).unwrap_or_default();
+        BentoFs::mount_sharded(
+            &self.name,
+            device,
+            self.cache_blocks,
+            cache_shards,
+            (self.factory)(options),
+        )
     }
 }
 
@@ -401,9 +456,9 @@ impl FilesystemType for BentoFsType {
     fn mount(
         &self,
         device: Arc<dyn BlockDevice>,
-        _options: &MountOptions,
+        options: &MountOptions,
     ) -> KernelResult<Arc<dyn VfsFs>> {
-        Ok(self.mount_on(device)? as Arc<dyn VfsFs>)
+        Ok(self.mount_on_with(device, options)? as Arc<dyn VfsFs>)
     }
 }
 

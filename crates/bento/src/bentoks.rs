@@ -63,6 +63,18 @@ pub trait BlockIo: Send + Sync {
     ///
     /// Propagates device errors.
     fn sync_all(&self) -> KernelResult<()>;
+
+    /// Writes `data` to `blockno` on the device *without* going through the
+    /// buffer cache.  The pipelined log uses this to install a committed
+    /// snapshot of a block whose cached copy has since been modified by a
+    /// later, not-yet-committed transaction: the newer cached bytes stay
+    /// dirty (their own group will log and install them) while the home
+    /// location receives exactly the committed bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    fn write_raw(&self, blockno: u64, data: &[u8]) -> KernelResult<()>;
 }
 
 /// An exclusive handle to one block's contents.
@@ -163,6 +175,10 @@ impl BlockIo for KernelBlockIo {
     fn sync_all(&self) -> KernelResult<()> {
         self.cache.flush_device()
     }
+
+    fn write_raw(&self, blockno: u64, data: &[u8]) -> KernelResult<()> {
+        self.cache.device().write_block(blockno, data)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -242,6 +258,16 @@ impl SuperBlock {
     /// Propagates device errors.
     pub fn sync_all(&self) -> KernelResult<()> {
         self.io.sync_all()
+    }
+
+    /// Writes `data` to `blockno` bypassing the buffer cache (see
+    /// [`BlockIo::write_raw`]): the log's conflict-safe install path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn write_raw(&self, blockno: u64, data: &[u8]) -> KernelResult<()> {
+        self.io.write_raw(blockno, data)
     }
 }
 

@@ -368,6 +368,13 @@ pub trait FileSystem: Send + Sync {
         Ok(())
     }
 
+    /// Write-path batching statistics (log batching, allocator spread), if
+    /// this file system tracks them.  BentoFS forwards these to the VFS so
+    /// the experiment harness can report them per run.
+    fn write_path_stats(&self) -> Option<simkernel::vfs::WritePathStats> {
+        None
+    }
+
     // -- online upgrade (paper §4.8) ----------------------------------------
 
     /// Extracts the in-memory state that must survive an online upgrade

@@ -150,6 +150,15 @@ impl BlockIo for UserDisk {
         self.model.charge(&self.counters, CostKind::UserspaceWholeFileSync, cost);
         self.cache.flush_device()
     }
+
+    fn write_raw(&self, blockno: u64, data: &[u8]) -> KernelResult<()> {
+        // A pwrite on the O_DIRECT disk file, bypassing the user-level
+        // cache: one boundary crossing plus the device write.
+        self.model.charge(&self.counters, CostKind::BoundaryCrossing, self.model.crossing_ns);
+        self.cache.device().write_block(blockno, data)?;
+        self.blocks_written_since_sync.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 /// Mints a [`SuperBlock`] capability backed by a userspace disk, the

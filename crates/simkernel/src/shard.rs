@@ -343,6 +343,17 @@ impl StripedCounter {
     pub fn get(&self) -> u64 {
         self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
     }
+
+    /// Resets the counter so that [`StripedCounter::get`] returns `value`.
+    ///
+    /// Not atomic with respect to concurrent increments — callers quiesce
+    /// the counter first (the online-upgrade state transfer runs with the
+    /// mount drained).
+    pub fn reset(&self, value: u64) {
+        for (i, cell) in self.cells.iter().enumerate() {
+            cell.0.store(if i == 0 { value } else { 0 }, Ordering::Relaxed);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -236,6 +236,42 @@ impl OpenFlags {
     }
 }
 
+/// Write-path batching statistics a file system may expose (see
+/// [`VfsFs::write_path_stats`]): how many operations each log commit
+/// absorbed, how many device barriers the log issued, and how allocations
+/// spread over allocation groups.  The experiment harness uses these to
+/// report group-commit batching and allocator skew per run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WritePathStats {
+    /// Committed log transaction groups.
+    pub log_commits: u64,
+    /// Operations absorbed into committed groups.
+    pub log_ops: u64,
+    /// Blocks written through the log.
+    pub log_blocks: u64,
+    /// Device barriers issued by log commits and recovery.
+    pub log_barriers: u64,
+    /// Allocations served per allocation group.
+    pub alloc_per_group: Vec<u64>,
+}
+
+impl WritePathStats {
+    /// Operations per commit (the group-commit batching factor).
+    pub fn ops_per_commit(&self) -> f64 {
+        self.log_ops as f64 / (self.log_commits as f64).max(1.0)
+    }
+
+    /// Device barriers per absorbed operation.
+    pub fn barriers_per_op(&self) -> f64 {
+        self.log_barriers as f64 / (self.log_ops as f64).max(1.0)
+    }
+
+    /// Number of allocation groups that served at least one allocation.
+    pub fn groups_used(&self) -> usize {
+        self.alloc_per_group.iter().filter(|&&n| n > 0).count()
+    }
+}
+
 /// Mount options passed at mount time (the equivalent of `-o` options).
 #[derive(Debug, Clone, Default)]
 pub struct MountOptions {
@@ -303,6 +339,12 @@ pub trait VfsFs: Send + Sync {
 
     /// The inode number of the root directory.
     fn root_ino(&self) -> u64;
+
+    /// Write-path batching statistics, if this file system tracks them
+    /// (journalling file systems do; the in-memory ones return `None`).
+    fn write_path_stats(&self) -> Option<WritePathStats> {
+        None
+    }
 
     /// Looks up `name` in directory `dir`.
     ///

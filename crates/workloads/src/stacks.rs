@@ -79,7 +79,8 @@ impl MountedStack {
 }
 
 /// Mounts `stack` at `/` of a fresh VFS over a RAM-backed SSD of
-/// `disk_blocks` 4 KiB blocks with the given latency model.
+/// `disk_blocks` 4 KiB blocks with the given latency model and default
+/// mount options.
 ///
 /// # Errors
 ///
@@ -89,6 +90,22 @@ pub fn mount_stack(
     model: CostModel,
     disk_blocks: u64,
 ) -> KernelResult<MountedStack> {
+    mount_stack_with(stack, model, disk_blocks, &MountOptions::default())
+}
+
+/// Like [`mount_stack`] with explicit mount options, so experiments can
+/// sweep per-mount knobs (`alloc_groups`, `cache_shards`) the way `-o`
+/// options would.
+///
+/// # Errors
+///
+/// Propagates mkfs/mount errors.
+pub fn mount_stack_with(
+    stack: FsStack,
+    model: CostModel,
+    disk_blocks: u64,
+    options: &MountOptions,
+) -> KernelResult<MountedStack> {
     let device = Arc::new(SsdDevice::ram_backed(disk_blocks, model.clone()));
     let device_dyn: Arc<dyn BlockDevice> = Arc::clone(&device) as Arc<dyn BlockDevice>;
     let vfs = Arc::new(Vfs::new(VfsConfig::default()));
@@ -96,21 +113,21 @@ pub fn mount_stack(
         FsStack::BentoXv6 => {
             xv6fs::mkfs::mkfs_on_device(&device_dyn, 8192)?;
             vfs.register_filesystem(Arc::new(xv6fs::fstype()))?;
-            vfs.mount(xv6fs::BENTO_XV6_NAME, device_dyn, "/", &MountOptions::default())?;
+            vfs.mount(xv6fs::BENTO_XV6_NAME, device_dyn, "/", options)?;
         }
         FsStack::VfsXv6 => {
             xv6fs::mkfs::mkfs_on_device(&device_dyn, 8192)?;
             vfs.register_filesystem(Arc::new(Xv6VfsFilesystemType))?;
-            vfs.mount(xv6fs_vfs::VFS_XV6_NAME, device_dyn, "/", &MountOptions::default())?;
+            vfs.mount(xv6fs_vfs::VFS_XV6_NAME, device_dyn, "/", options)?;
         }
         FsStack::FuseXv6 => {
             xv6fs::mkfs::mkfs_on_device(&device_dyn, 8192)?;
             vfs.register_filesystem(Arc::new(FuseXv6FilesystemType::with_model(model, 8)))?;
-            vfs.mount("xv6fs_fuse", device_dyn, "/", &MountOptions::default())?;
+            vfs.mount("xv6fs_fuse", device_dyn, "/", options)?;
         }
         FsStack::Ext4 => {
             vfs.register_filesystem(Arc::new(Ext4FilesystemType))?;
-            vfs.mount(ext4sim::EXT4_NAME, device_dyn, "/", &MountOptions::default())?;
+            vfs.mount(ext4sim::EXT4_NAME, device_dyn, "/", options)?;
         }
     }
     Ok(MountedStack { vfs, stack, device })

@@ -37,12 +37,14 @@ use simkernel::error::{Errno, KernelError, KernelResult};
 use simkernel::shard::ShardedMap;
 use simkernel::vfs::{
     DirEntry, FileMode, FilesystemType, InodeAttr, MountOptions, OpenFlags, SetAttr, StatFs, VfsFs,
+    WritePathStats,
 };
 
+use xv6fs::core::AllocGroups;
 use xv6fs::inode::InodeData;
 use xv6fs::layout::{
-    get_u32, put_u32, validate_name, Dinode, Dirent, DiskSuperblock, BPB, BSIZE, DIRENT_SIZE,
-    DIRSIZ, NDIRECT, NINDIRECT, T_DIR, T_FILE, T_FREE,
+    get_u16, get_u32, put_u32, validate_name, Dinode, Dirent, DiskSuperblock, BPB, BSIZE,
+    DIRENT_SIZE, DIRSIZ, NDIRECT, NINDIRECT, T_DIR, T_FILE, T_FREE,
 };
 
 use crate::log::VfsLog;
@@ -54,24 +56,18 @@ pub const VFS_XV6_NAME: &str = "xv6fs_vfs";
 /// format, as in the paper).
 pub use xv6fs::mkfs::mkfs_on_device;
 
-struct AllocInner {
-    block_hint: u64,
-    inode_hint: u32,
-    used_blocks: Option<u64>,
-}
-
 /// The xv6 file system implemented directly against the kernel VFS layer.
 ///
 /// Mirroring the Bento variant, the in-memory inode table and the
-/// open-handle table are sharded ([`ShardedMap`]) so operations on
-/// different inodes do not serialize on one table lock; the allocator and
-/// the log remain single locks, exactly as in the original C design.
+/// open-handle table are sharded ([`ShardedMap`]), the allocator is split
+/// into per-allocation-group cursors ([`AllocGroups`]), and the log is the
+/// pipelined group-commit [`VfsLog`].
 pub struct Xv6VfsFilesystem {
     cache: BufferCache,
     dsb: DiskSuperblock,
     log: VfsLog,
     inodes: ShardedMap<u32, Arc<RwLock<InodeData>>>,
-    alloc: Mutex<AllocInner>,
+    alloc: AllocGroups,
     namespace: Mutex<()>,
     opens: ShardedMap<u32, u32>,
 }
@@ -90,18 +86,36 @@ impl Xv6VfsFilesystem {
     /// [`Errno::Inval`] if the device does not hold an xv6 image; I/O errors
     /// propagate.
     pub fn mount(device: Arc<dyn BlockDevice>) -> KernelResult<Arc<Self>> {
-        let cache = BufferCache::new(device, 4096);
+        Self::mount_with_options(device, &MountOptions::default())
+    }
+
+    /// Mounts with explicit options: `alloc_groups` sets the
+    /// allocation-group count and `cache_shards` the buffer-cache shard
+    /// count (both `0`/absent = default).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Inval`] if the device does not hold an xv6 image; I/O errors
+    /// propagate.
+    pub fn mount_with_options(
+        device: Arc<dyn BlockDevice>,
+        options: &MountOptions,
+    ) -> KernelResult<Arc<Self>> {
+        let parse =
+            |key: &str| options.get(key).and_then(|v| v.parse::<usize>().ok()).unwrap_or_default();
+        let cache = BufferCache::with_shards(device, 4096, parse("cache_shards"));
         let dsb = {
             let sb_block = cache.bread(1)?;
             DiskSuperblock::decode(sb_block.data())?
         };
         let log = VfsLog::new(&dsb);
+        let alloc = AllocGroups::new(&dsb, dsb.data_start(), parse("alloc_groups"));
         let fs = Xv6VfsFilesystem {
             cache,
             dsb,
             log,
             inodes: ShardedMap::new(0),
-            alloc: Mutex::new(AllocInner { block_hint: 0, inode_hint: 1, used_blocks: None }),
+            alloc,
             namespace: Mutex::new(()),
             opens: ShardedMap::new(0),
         };
@@ -133,76 +147,152 @@ impl Xv6VfsFilesystem {
         let blockno = self.dsb.inode_block(inum);
         let mut block = self.cache.bread(blockno)?;
         data.to_dinode().encode(block.data_mut(), DiskSuperblock::inode_offset(inum));
-        drop(block);
-        self.log.log_write(blockno)
+        self.log.log_write(&block)
     }
 
     fn first_data_block(&self) -> u64 {
-        let bitmap_blocks = (self.dsb.size as u64).div_ceil(BPB as u64);
-        self.dsb.bmapstart as u64 + bitmap_blocks
+        self.dsb.data_start()
     }
 
     fn balloc(&self) -> KernelResult<u64> {
-        let mut alloc = self.alloc.lock();
-        let data_start = self.first_data_block();
-        let start = alloc.block_hint.max(data_start);
-        for blockno in (start..self.dsb.size as u64).chain(data_start..start) {
-            let bitmap_block = self.dsb.bitmap_block(blockno);
-            let index = (blockno % BPB as u64) as usize;
-            let mut bblock = self.cache.bread(bitmap_block)?;
-            if bblock.data()[index / 8] & (1 << (index % 8)) == 0 {
-                bblock.data_mut()[index / 8] |= 1 << (index % 8);
-                drop(bblock);
-                self.log.log_write(bitmap_block)?;
-                let zero = self.cache.getblk_zeroed(blockno)?;
-                drop(zero);
-                self.log.log_write(blockno)?;
-                alloc.block_hint = blockno + 1;
-                if let Some(u) = alloc.used_blocks.as_mut() {
-                    *u += 1;
-                }
+        let groups = self.alloc.group_count();
+        let home = self.alloc.home_group();
+        for attempt in 0..groups {
+            let g = (home + attempt) % groups;
+            if let Some(blockno) = self.balloc_in_group(g)? {
                 return Ok(blockno);
             }
         }
         Err(KernelError::with_context(Errno::NoSpc, "xv6fs-vfs: out of blocks"))
     }
 
+    fn balloc_in_group(&self, g: usize) -> KernelResult<Option<u64>> {
+        let (lo, hi) = self.alloc.block_range(g);
+        if lo >= hi {
+            return Ok(None);
+        }
+        let mut state = self.alloc.lock_group(g);
+        let start = state.block_hint.clamp(lo, hi - 1);
+        let found = match self.claim_free_block(start, hi)? {
+            Some(b) => Some(b),
+            None => self.claim_free_block(lo, start)?,
+        };
+        let Some(blockno) = found else {
+            return Ok(None);
+        };
+        let zero = self.cache.getblk_zeroed(blockno)?;
+        self.log.log_write(&zero)?;
+        drop(zero);
+        state.block_hint = if blockno + 1 < hi { blockno + 1 } else { lo };
+        if let Some(u) = state.used_blocks.as_mut() {
+            *u += 1;
+        }
+        drop(state);
+        self.alloc.note_alloc(g);
+        Ok(Some(blockno))
+    }
+
+    /// Scans `[from, to)` for a free bit, one `bread` per bitmap block,
+    /// skipping full `0xff` bytes; claims and logs the first free bit.
+    fn claim_free_block(&self, from: u64, to: u64) -> KernelResult<Option<u64>> {
+        let mut blockno = from;
+        while blockno < to {
+            let mut bblock = self.cache.bread(self.dsb.bitmap_block(blockno))?;
+            let base = blockno - (blockno % BPB as u64);
+            let end = to.min(base + BPB as u64);
+            let mut candidate = blockno;
+            while candidate < end {
+                let index = (candidate % BPB as u64) as usize;
+                let byte = index / 8;
+                if bblock.data()[byte] == 0xff {
+                    candidate = base + (byte as u64 + 1) * 8;
+                    continue;
+                }
+                let bit = 1u8 << (index % 8);
+                if bblock.data()[byte] & bit == 0 {
+                    bblock.data_mut()[byte] |= bit;
+                    self.log.log_write(&bblock)?;
+                    return Ok(Some(candidate));
+                }
+                candidate += 1;
+            }
+            drop(bblock);
+            blockno = end;
+        }
+        Ok(None)
+    }
+
     fn bfree(&self, blockno: u64) -> KernelResult<()> {
-        let bitmap_block = self.dsb.bitmap_block(blockno);
+        let g = self.alloc.group_of_block(blockno);
+        let mut state = self.alloc.lock_group(g);
         let index = (blockno % BPB as u64) as usize;
-        let mut bblock = self.cache.bread(bitmap_block)?;
+        let mut bblock = self.cache.bread(self.dsb.bitmap_block(blockno))?;
         if bblock.data()[index / 8] & (1 << (index % 8)) == 0 {
             return Err(KernelError::with_context(Errno::Inval, "xv6fs-vfs: double free"));
         }
         bblock.data_mut()[index / 8] &= !(1 << (index % 8));
+        self.log.log_write(&bblock)?;
         drop(bblock);
-        self.log.log_write(bitmap_block)?;
-        let mut alloc = self.alloc.lock();
-        if let Some(u) = alloc.used_blocks.as_mut() {
+        if let Some(u) = state.used_blocks.as_mut() {
             *u = u.saturating_sub(1);
         }
-        if blockno < alloc.block_hint {
-            alloc.block_hint = blockno;
+        let (lo, _) = self.alloc.block_range(g);
+        if blockno < state.block_hint.max(lo) {
+            state.block_hint = blockno;
         }
         Ok(())
     }
 
     fn ialloc(&self, ftype: u16) -> KernelResult<u32> {
-        let mut alloc = self.alloc.lock();
-        let start = alloc.inode_hint.max(1);
-        for inum in (start..self.dsb.ninodes).chain(1..start) {
-            let blockno = self.dsb.inode_block(inum);
-            let mut block = self.cache.bread(blockno)?;
-            let offset = DiskSuperblock::inode_offset(inum);
-            if Dinode::decode(block.data(), offset).ftype == T_FREE {
-                Dinode { ftype, ..Dinode::default() }.encode(block.data_mut(), offset);
-                drop(block);
-                self.log.log_write(blockno)?;
-                alloc.inode_hint = inum + 1;
+        let groups = self.alloc.group_count();
+        let home = self.alloc.home_group();
+        for attempt in 0..groups {
+            let g = (home + attempt) % groups;
+            if let Some(inum) = self.ialloc_in_group(g, ftype)? {
                 return Ok(inum);
             }
         }
         Err(KernelError::with_context(Errno::NoSpc, "xv6fs-vfs: out of inodes"))
+    }
+
+    fn ialloc_in_group(&self, g: usize, ftype: u16) -> KernelResult<Option<u32>> {
+        let (lo, hi) = self.alloc.inode_range(g);
+        if lo >= hi {
+            return Ok(None);
+        }
+        let mut state = self.alloc.lock_group(g);
+        let start = state.inode_hint.clamp(lo, hi - 1);
+        let claim = |from: u32, to: u32| -> KernelResult<Option<u32>> {
+            let mut inum = from;
+            while inum < to {
+                let blockno = self.dsb.inode_block(inum);
+                let mut block = self.cache.bread(blockno)?;
+                let mut candidate = inum;
+                while candidate < to && self.dsb.inode_block(candidate) == blockno {
+                    let offset = DiskSuperblock::inode_offset(candidate);
+                    if get_u16(block.data(), offset) == T_FREE {
+                        Dinode { ftype, ..Dinode::default() }.encode(block.data_mut(), offset);
+                        self.log.log_write(&block)?;
+                        return Ok(Some(candidate));
+                    }
+                    candidate += 1;
+                }
+                drop(block);
+                inum = candidate;
+            }
+            Ok(None)
+        };
+        let found = match claim(start, hi)? {
+            Some(inum) => Some(inum),
+            None => claim(lo, start)?,
+        };
+        let Some(inum) = found else {
+            return Ok(None);
+        };
+        state.inode_hint = if inum + 1 < hi { inum + 1 } else { lo };
+        drop(state);
+        self.alloc.note_alloc(g);
+        Ok(Some(inum))
     }
 
     fn bmap(&self, data: &mut InodeData, bn: u64, allocate: bool) -> KernelResult<Option<u64>> {
@@ -254,8 +344,7 @@ impl Xv6VfsFilesystem {
         }
         let fresh = self.balloc()?;
         put_u32(block.data_mut(), index * 4, fresh as u32);
-        drop(block);
-        self.log.log_write(blockno)?;
+        self.log.log_write(&block)?;
         Ok(Some(fresh))
     }
 
@@ -300,8 +389,8 @@ impl Xv6VfsFilesystem {
                 .ok_or_else(|| KernelError::with_context(Errno::Io, "xv6fs-vfs: bmap failure"))?;
             let mut block = self.cache.bread(blockno)?;
             block.data_mut()[off..off + chunk].copy_from_slice(&src[done..done + chunk]);
+            self.log.log_write(&block)?;
             drop(block);
-            self.log.log_write(blockno)?;
             done += chunk;
         }
         if offset + done as u64 > data.size {
@@ -415,8 +504,7 @@ impl Xv6VfsFilesystem {
             let blockno = self.dsb.inode_block(inum);
             let mut block = self.cache.bread(blockno)?;
             Dinode::default().encode(block.data_mut(), DiskSuperblock::inode_offset(inum));
-            drop(block);
-            self.log.log_write(blockno)
+            self.log.log_write(&block)
         })();
         self.log.end_op(&self.cache)?;
         self.inodes.remove(&inum);
@@ -431,6 +519,17 @@ impl VfsFs for Xv6VfsFilesystem {
 
     fn root_ino(&self) -> u64 {
         xv6fs::layout::ROOT_INO as u64
+    }
+
+    fn write_path_stats(&self) -> Option<WritePathStats> {
+        let log = self.log.stats();
+        Some(WritePathStats {
+            log_commits: log.commits,
+            log_ops: log.ops_committed,
+            log_blocks: log.blocks_logged,
+            log_barriers: log.barriers,
+            alloc_per_group: self.alloc.allocations_per_group(),
+        })
     }
 
     fn lookup(&self, dir: u64, name: &str) -> KernelResult<InodeAttr> {
@@ -509,6 +608,9 @@ impl VfsFs for Xv6VfsFilesystem {
             self.dirlink(dir, &mut parent, name, inum)?;
             Ok(child.attr(inum))
         })();
+        // Commit outside the namespace lock so concurrent creators keep
+        // forming the next group while this one writes its barriers.
+        drop(_ns);
         self.log.end_op(&self.cache)?;
         result
     }
@@ -536,6 +638,7 @@ impl VfsFs for Xv6VfsFilesystem {
             self.dirlink(dir, &mut parent, name, inum)?;
             Ok(child.attr(inum))
         })();
+        drop(_ns);
         self.log.end_op(&self.cache)?;
         result
     }
@@ -569,6 +672,7 @@ impl VfsFs for Xv6VfsFilesystem {
             self.write_dinode(inum, &child)?;
             Ok((child.nlink == 0 && self.opens.get(&inum).unwrap_or(0) == 0).then_some(inum))
         })();
+        drop(_ns);
         self.log.end_op(&self.cache)?;
         if let Some(inum) = reap? {
             let arc = self.inode(inum);
@@ -623,6 +727,7 @@ impl VfsFs for Xv6VfsFilesystem {
             self.write_dinode(inum, &child)?;
             Ok(inum)
         })();
+        drop(_ns);
         self.log.end_op(&self.cache)?;
         let inum = reap?;
         let arc = self.inode(inum);
@@ -720,6 +825,7 @@ impl VfsFs for Xv6VfsFilesystem {
             }
             Ok(())
         })();
+        drop(_ns);
         self.log.end_op(&self.cache)?;
         result
     }
@@ -748,6 +854,7 @@ impl VfsFs for Xv6VfsFilesystem {
             self.dirlink(newdir as u32, &mut parent, newname, inum)?;
             Ok(attr)
         })();
+        drop(_ns);
         self.log.end_op(&self.cache)?;
         result
     }
@@ -845,28 +952,37 @@ impl VfsFs for Xv6VfsFilesystem {
     }
 
     fn fsync(&self, _ino: u64, _datasync: bool) -> KernelResult<()> {
+        self.log.flush(&self.cache)?;
         self.cache.flush_device()
     }
 
     fn statfs(&self) -> KernelResult<StatFs> {
-        let used = {
-            let cached = self.alloc.lock().used_blocks;
-            match cached {
-                Some(u) => u,
-                None => {
-                    let mut used = 0;
-                    for blockno in self.first_data_block()..self.dsb.size as u64 {
-                        let bblock = self.cache.bread(self.dsb.bitmap_block(blockno))?;
-                        let index = (blockno % BPB as u64) as usize;
-                        if bblock.data()[index / 8] & (1 << (index % 8)) != 0 {
-                            used += 1;
-                        }
-                    }
-                    self.alloc.lock().used_blocks = Some(used);
-                    used
-                }
+        let mut used = 0u64;
+        for g in 0..self.alloc.group_count() {
+            let mut state = self.alloc.lock_group(g);
+            if let Some(u) = state.used_blocks {
+                used += u;
+                continue;
             }
-        };
+            let (lo, hi) = self.alloc.block_range(g);
+            let mut in_group = 0u64;
+            let mut blockno = lo;
+            while blockno < hi {
+                let bblock = self.cache.bread(self.dsb.bitmap_block(blockno))?;
+                let base = blockno - (blockno % BPB as u64);
+                let end = hi.min(base + BPB as u64);
+                for b in blockno..end {
+                    let index = (b % BPB as u64) as usize;
+                    if bblock.data()[index / 8] & (1 << (index % 8)) != 0 {
+                        in_group += 1;
+                    }
+                }
+                drop(bblock);
+                blockno = end;
+            }
+            state.used_blocks = Some(in_group);
+            used += in_group;
+        }
         let total = (self.dsb.size as u64).saturating_sub(self.first_data_block());
         Ok(StatFs {
             total_blocks: total,
@@ -879,6 +995,7 @@ impl VfsFs for Xv6VfsFilesystem {
     }
 
     fn sync_fs(&self) -> KernelResult<()> {
+        self.log.flush(&self.cache)?;
         self.cache.flush_device()
     }
 }
@@ -895,9 +1012,9 @@ impl FilesystemType for Xv6VfsFilesystemType {
     fn mount(
         &self,
         device: Arc<dyn BlockDevice>,
-        _options: &MountOptions,
+        options: &MountOptions,
     ) -> KernelResult<Arc<dyn VfsFs>> {
-        Ok(Xv6VfsFilesystem::mount(device)? as Arc<dyn VfsFs>)
+        Ok(Xv6VfsFilesystem::mount_with_options(device, options)? as Arc<dyn VfsFs>)
     }
 }
 

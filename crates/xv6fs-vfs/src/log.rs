@@ -2,156 +2,494 @@
 //! buffer cache (the way the paper's C implementation calls `sb_bread` /
 //! `brelse` / `blkdev_issue_flush` itself).
 //!
-//! The protocol is the same as [`xv6fs::log`]; the difference is purely
-//! which interface it is written against.
+//! The protocol is the same pipelined group commit as [`xv6fs::log`]:
+//! `begin_op` reserves space from an atomic counter, `log_write` stages a
+//! frozen snapshot in thread-local state, completed operations merge into
+//! the forming group at `end_op`, and commits alternate between two on-disk
+//! log regions so the next group forms while the previous one writes its
+//! barriers.  The difference is purely which interface the I/O is written
+//! against ([`BufferCache`] instead of the Bento `SuperBlock` capability).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::{Condvar, Mutex};
 
-use simkernel::buffer::BufferCache;
+use simkernel::buffer::{BufferCache, BufferGuard};
 use simkernel::error::{Errno, KernelError, KernelResult};
+use simkernel::shard::StripedCounter;
 
-use xv6fs::layout::{get_u32, put_u32, DiskSuperblock, LOGSIZE, MAXOPBLOCKS};
+use xv6fs::layout::{
+    get_u32, get_u64, put_u32, put_u64, DiskSuperblock, BSIZE, LOGSIZE, LOG_HEAD_BLOCKS_OFF,
+    LOG_HEAD_COUNT_OFF, LOG_HEAD_SEQ_OFF, MAXOPBLOCKS,
+};
+
+pub use xv6fs::log::LogStats;
+
+#[derive(Debug)]
+struct LoggedBlock {
+    home: u64,
+    version: u64,
+    data: Vec<u8>,
+}
 
 #[derive(Debug, Default)]
-struct Inner {
-    blocks: Vec<u64>,
-    outstanding: u32,
-    committing: bool,
+struct FormingGroup {
+    blocks: Vec<LoggedBlock>,
+    index: HashMap<u64, usize>,
+    ops: u64,
+}
+
+#[derive(Debug, Default)]
+struct TxLocal {
+    depth: u32,
+    blocks: Vec<LoggedBlock>,
+    index: HashMap<u64, usize>,
+}
+
+thread_local! {
+    static TX: RefCell<HashMap<u64, TxLocal>> = RefCell::new(HashMap::new());
+}
+
+static LOG_IDS: AtomicU64 = AtomicU64::new(1);
+static SNAPSHOT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+#[derive(Debug, Default)]
+struct LogCounters {
+    commits: StripedCounter,
+    blocks_logged: StripedCounter,
+    recoveries: StripedCounter,
+    ops_committed: StripedCounter,
+    barriers: StripedCounter,
+}
+
+#[derive(Debug, Default)]
+struct CommitTurn {
+    next: u64,
 }
 
 /// Write-ahead log state for the VFS baseline.
 #[derive(Debug)]
 pub struct VfsLog {
+    id: u64,
     start: u64,
-    size: usize,
-    inner: Mutex<Inner>,
-    cond: Condvar,
+    region_size: usize,
+    capacity: usize,
+    /// Valid home-block range; recovery rejects headers naming blocks
+    /// outside it (corruption / foreign-format defense).
+    home_range: (u64, u64),
+    inner: Mutex<FormingGroup>,
+    space_cond: Condvar,
+    outstanding: AtomicU32,
+    reserved: AtomicUsize,
+    next_seq: AtomicU64,
+    /// Commits whose I/O has finished; `next_seq > commits_done` means a
+    /// commit is in flight, so group closing defers to the committer's
+    /// handoff (that deferral is the batching).
+    commits_done: AtomicU64,
+    /// Active [`VfsLog::flush`] calls; while nonzero, `begin_op` admits no
+    /// new operations so the drain is bounded.
+    flushing: AtomicU32,
+    commit_turn: Mutex<CommitTurn>,
+    commit_cond: Condvar,
+    counters: LogCounters,
 }
 
 impl VfsLog {
     /// Creates log state for the file system described by `sb`.
     pub fn new(sb: &DiskSuperblock) -> Self {
+        let size = (sb.nlog as usize).min(LOGSIZE);
+        let region_size = (size / 2).max(2);
+        let capacity = (region_size - 1).min((BSIZE - LOG_HEAD_BLOCKS_OFF) / 4);
         VfsLog {
+            id: LOG_IDS.fetch_add(1, Ordering::Relaxed),
             start: sb.logstart as u64,
-            size: (sb.nlog as usize).min(LOGSIZE),
-            inner: Mutex::new(Inner::default()),
-            cond: Condvar::new(),
+            region_size,
+            capacity,
+            home_range: (sb.inodestart as u64, sb.size as u64),
+            inner: Mutex::new(FormingGroup::default()),
+            space_cond: Condvar::new(),
+            outstanding: AtomicU32::new(0),
+            reserved: AtomicUsize::new(0),
+            next_seq: AtomicU64::new(0),
+            commits_done: AtomicU64::new(0),
+            flushing: AtomicU32::new(0),
+            commit_turn: Mutex::new(CommitTurn::default()),
+            commit_cond: Condvar::new(),
+            counters: LogCounters::default(),
         }
     }
 
-    /// Begins a transaction-participating operation.
-    pub fn begin_op(&self) {
-        let mut inner = self.inner.lock();
+    /// Returns cumulative statistics.
+    pub fn stats(&self) -> LogStats {
+        LogStats {
+            commits: self.counters.commits.get(),
+            blocks_logged: self.counters.blocks_logged.get(),
+            recoveries: self.counters.recoveries.get(),
+            ops_committed: self.counters.ops_committed.get(),
+            barriers: self.counters.barriers.get(),
+        }
+    }
+
+    fn try_reserve(&self) -> bool {
+        let mut cur = self.reserved.load(Ordering::SeqCst);
         loop {
-            let would = inner.blocks.len() + (inner.outstanding as usize + 1) * MAXOPBLOCKS;
-            if inner.committing || would > self.size - 1 {
-                self.cond.wait(&mut inner);
-            } else {
-                inner.outstanding += 1;
-                return;
+            if cur + MAXOPBLOCKS > self.capacity {
+                return false;
+            }
+            match self.reserved.compare_exchange(
+                cur,
+                cur + MAXOPBLOCKS,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
             }
         }
     }
 
-    /// Records a modified block.
+    /// Begins a transaction-participating operation (see
+    /// [`xv6fs::log::Log::begin_op`]).
+    pub fn begin_op(&self) {
+        let nested = TX.with(|cell| {
+            let mut map = cell.borrow_mut();
+            let tx = map.entry(self.id).or_default();
+            tx.depth += 1;
+            tx.depth > 1
+        });
+        if nested {
+            return;
+        }
+        if self.flushing.load(Ordering::SeqCst) != 0 || !self.try_reserve() {
+            let mut inner = self.inner.lock();
+            while self.flushing.load(Ordering::SeqCst) != 0 || !self.try_reserve() {
+                self.space_cond.wait(&mut inner);
+            }
+        }
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records a modified block, freezing a snapshot of its bytes; call
+    /// while still holding the buffer.
     ///
     /// # Errors
     ///
     /// [`Errno::Inval`] outside a transaction, [`Errno::NoSpc`] if the
-    /// transaction outgrows the log.
-    pub fn log_write(&self, blockno: u64) -> KernelResult<()> {
-        let mut inner = self.inner.lock();
-        if inner.outstanding == 0 {
-            return Err(KernelError::with_context(Errno::Inval, "xv6fs-vfs: log_write outside op"));
-        }
-        if inner.blocks.len() >= self.size - 1 {
-            return Err(KernelError::with_context(Errno::NoSpc, "xv6fs-vfs: log overflow"));
-        }
-        if !inner.blocks.contains(&blockno) {
-            inner.blocks.push(blockno);
-        }
-        Ok(())
+    /// operation exceeds [`MAXOPBLOCKS`] distinct blocks.
+    pub fn log_write(&self, buf: &BufferGuard) -> KernelResult<()> {
+        let home = buf.blockno();
+        let version = SNAPSHOT_VERSION.fetch_add(1, Ordering::SeqCst);
+        TX.with(|cell| {
+            let mut map = cell.borrow_mut();
+            let tx = match map.get_mut(&self.id) {
+                Some(tx) if tx.depth > 0 => tx,
+                _ => {
+                    return Err(KernelError::with_context(
+                        Errno::Inval,
+                        "xv6fs-vfs: log_write outside op",
+                    ));
+                }
+            };
+            if let Some(&i) = tx.index.get(&home) {
+                tx.blocks[i].version = version;
+                tx.blocks[i].data.clear();
+                tx.blocks[i].data.extend_from_slice(buf.data());
+            } else {
+                if tx.blocks.len() >= MAXOPBLOCKS {
+                    return Err(KernelError::with_context(Errno::NoSpc, "xv6fs-vfs: log overflow"));
+                }
+                tx.index.insert(home, tx.blocks.len());
+                tx.blocks.push(LoggedBlock { home, version, data: buf.data().to_vec() });
+            }
+            Ok(())
+        })
     }
 
-    /// Ends the operation, committing when it is the last one outstanding.
+    /// Ends the operation, merging it into the forming group and committing
+    /// the group if it is ready.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the commit.
     pub fn end_op(&self, cache: &BufferCache) -> KernelResult<()> {
-        let to_commit = {
-            let mut inner = self.inner.lock();
-            inner.outstanding -= 1;
-            if inner.outstanding == 0 && !inner.blocks.is_empty() {
-                inner.committing = true;
-                Some(std::mem::take(&mut inner.blocks))
-            } else {
-                if inner.outstanding == 0 {
-                    self.cond.notify_all();
+        let staged = TX.with(|cell| {
+            let mut map = cell.borrow_mut();
+            let tx = map.get_mut(&self.id).expect("end_op without begin_op");
+            debug_assert!(tx.depth > 0, "end_op without begin_op");
+            tx.depth -= 1;
+            if tx.depth == 0 {
+                // Keep the (empty) staging entry so the next operation on
+                // this thread reuses its index allocation; prune stale
+                // entries of long-dead log instances once in a while.
+                tx.index.clear();
+                let blocks = std::mem::take(&mut tx.blocks);
+                if map.len() > 16 {
+                    map.retain(|_, t| t.depth > 0);
                 }
+                Some(blocks)
+            } else {
                 None
             }
-        };
-        if let Some(blocks) = to_commit {
-            let result = self.commit(cache, &blocks);
+        });
+        let Some(staged) = staged else { return Ok(()) };
+
+        let to_commit = {
             let mut inner = self.inner.lock();
-            inner.committing = false;
-            self.cond.notify_all();
-            result?;
+            let did_write = !staged.is_empty();
+            let mut added = 0usize;
+            for block in staged {
+                if let Some(&i) = inner.index.get(&block.home) {
+                    if inner.blocks[i].version < block.version {
+                        inner.blocks[i] = block;
+                    }
+                } else {
+                    let slot = inner.blocks.len();
+                    inner.index.insert(block.home, slot);
+                    inner.blocks.push(block);
+                    added += 1;
+                }
+            }
+            if did_write {
+                // Read-only operations do not count toward the batching
+                // metric.
+                inner.ops += 1;
+            }
+            let release = MAXOPBLOCKS - added;
+            if release > 0 {
+                self.reserved.fetch_sub(release, Ordering::SeqCst);
+                self.space_cond.notify_all();
+            }
+            let remaining = self.outstanding.fetch_sub(1, Ordering::SeqCst) - 1;
+            if remaining == 0 {
+                // Wake a flush() waiting for operations to drain.
+                self.space_cond.notify_all();
+            }
+            self.take_group_if_ready(&mut inner)
+        };
+        if let Some((seq, blocks, ops)) = to_commit {
+            self.commit_group(cache, seq, blocks, ops)?;
         }
         Ok(())
     }
 
-    fn commit(&self, cache: &BufferCache, blocks: &[u64]) -> KernelResult<()> {
-        for (i, &home) in blocks.iter().enumerate() {
-            let src = cache.bread(home)?;
-            let mut dst = cache.getblk_zeroed(self.start + 1 + i as u64)?;
-            dst.data_mut().copy_from_slice(src.data());
-            dst.write()?;
+    /// Forces everything durable-in-progress to commit (fsync / unmount
+    /// paths): drains outstanding operations, commits the forming group,
+    /// and waits out in-flight commits.  Must not be called from inside a
+    /// transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the commit.
+    pub fn flush(&self, cache: &BufferCache) -> KernelResult<()> {
+        // Seal admissions so the drain is bounded (see xv6fs::log).
+        self.flushing.fetch_add(1, Ordering::SeqCst);
+        let to_commit = {
+            let mut inner = self.inner.lock();
+            while self.outstanding.load(Ordering::SeqCst) != 0 {
+                self.space_cond.wait(&mut inner);
+            }
+            let group = self.take_group(&mut inner);
+            self.flushing.fetch_sub(1, Ordering::SeqCst);
+            self.space_cond.notify_all();
+            group
+        };
+        let result = match to_commit {
+            Some((seq, blocks, ops)) => self.commit_group(cache, seq, blocks, ops),
+            None => Ok(()),
+        };
+        let target = self.next_seq.load(Ordering::SeqCst);
+        let mut turn = self.commit_turn.lock();
+        while turn.next < target {
+            self.commit_cond.wait(&mut turn);
         }
-        self.write_head(cache, blocks)?;
-        cache.flush_device()?;
-        for &home in blocks {
-            let mut buf = cache.bread(home)?;
-            buf.write()?;
-        }
-        self.write_head(cache, &[])?;
-        cache.flush_device()
+        result
     }
 
-    fn write_head(&self, cache: &BufferCache, blocks: &[u64]) -> KernelResult<()> {
-        let mut head = cache.bread(self.start)?;
-        put_u32(head.data_mut(), 0, blocks.len() as u32);
-        for (i, &b) in blocks.iter().enumerate() {
-            put_u32(head.data_mut(), 4 + i * 4, b as u32);
+    /// Closes the forming group only at a quiescent instant with no commit
+    /// in flight (see [`xv6fs::log::Log`] for the protocol and why).
+    fn take_group_if_ready(
+        &self,
+        inner: &mut FormingGroup,
+    ) -> Option<(u64, Vec<LoggedBlock>, u64)> {
+        let quiescent = self.outstanding.load(Ordering::SeqCst) == 0;
+        let in_flight =
+            self.next_seq.load(Ordering::SeqCst) > self.commits_done.load(Ordering::SeqCst);
+        if quiescent && !in_flight {
+            self.take_group(inner)
+        } else {
+            None
+        }
+    }
+
+    /// Closes the forming group and releases its slots immediately: a
+    /// closed group owns its own on-disk region, so only the forming group
+    /// counts against the reservation budget.
+    fn take_group(&self, inner: &mut FormingGroup) -> Option<(u64, Vec<LoggedBlock>, u64)> {
+        if inner.blocks.is_empty() {
+            return None;
+        }
+        let blocks = std::mem::take(&mut inner.blocks);
+        inner.index.clear();
+        let ops = std::mem::take(&mut inner.ops);
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        self.reserved.fetch_sub(blocks.len(), Ordering::SeqCst);
+        // Callers hold `inner`, which is what space waiters pair with.
+        self.space_cond.notify_all();
+        Some((seq, blocks, ops))
+    }
+
+    fn commit_group(
+        &self,
+        cache: &BufferCache,
+        mut seq: u64,
+        mut blocks: Vec<LoggedBlock>,
+        mut ops: u64,
+    ) -> KernelResult<()> {
+        loop {
+            {
+                let mut turn = self.commit_turn.lock();
+                while turn.next != seq {
+                    self.commit_cond.wait(&mut turn);
+                }
+            }
+            let result = self.commit_io(cache, seq, &blocks);
+            self.commits_done.fetch_add(1, Ordering::SeqCst);
+            {
+                let mut turn = self.commit_turn.lock();
+                turn.next = seq + 1;
+                self.commit_cond.notify_all();
+            }
+            if result.is_ok() {
+                self.counters.commits.inc();
+                self.counters.blocks_logged.add(blocks.len() as u64);
+                self.counters.ops_committed.add(ops);
+            }
+            let next = {
+                let mut inner = self.inner.lock();
+                if result.is_err() {
+                    None
+                } else {
+                    self.take_group_if_ready(&mut inner)
+                }
+            };
+            match next {
+                Some((next_seq, next_blocks, next_ops)) => {
+                    seq = next_seq;
+                    blocks = next_blocks;
+                    ops = next_ops;
+                }
+                None => return result,
+            }
+        }
+    }
+
+    fn commit_io(&self, cache: &BufferCache, seq: u64, blocks: &[LoggedBlock]) -> KernelResult<()> {
+        debug_assert!(blocks.len() <= self.capacity);
+        let head_block = self.start + (seq % 2) * self.region_size as u64;
+        // Log data blocks are only read back by recovery (fresh cache), so
+        // they bypass the buffer cache instead of evicting useful blocks.
+        for (i, block) in blocks.iter().enumerate() {
+            cache.device().write_block(head_block + 1 + i as u64, &block.data)?;
+        }
+        self.write_head(cache, head_block, seq, blocks)?;
+        self.barrier(cache)?;
+        for block in blocks {
+            let mut buf = cache.bread(block.home)?;
+            if buf.data() == block.data.as_slice() {
+                buf.write()?;
+            } else {
+                // A later, not-yet-committed operation already modified the
+                // cached copy; write the committed snapshot straight to the
+                // device and leave the newer bytes dirty for their own
+                // group.
+                drop(buf);
+                cache.device().write_block(block.home, &block.data)?;
+            }
+        }
+        self.write_empty_head(cache, head_block, seq)?;
+        self.barrier(cache)
+    }
+
+    fn barrier(&self, cache: &BufferCache) -> KernelResult<()> {
+        cache.flush_device()?;
+        self.counters.barriers.inc();
+        Ok(())
+    }
+
+    fn write_head(
+        &self,
+        cache: &BufferCache,
+        head_block: u64,
+        seq: u64,
+        blocks: &[LoggedBlock],
+    ) -> KernelResult<()> {
+        let mut head = cache.bread(head_block)?;
+        put_u32(head.data_mut(), LOG_HEAD_COUNT_OFF, blocks.len() as u32);
+        put_u64(head.data_mut(), LOG_HEAD_SEQ_OFF, seq);
+        for (i, block) in blocks.iter().enumerate() {
+            put_u32(head.data_mut(), LOG_HEAD_BLOCKS_OFF + i * 4, block.home as u32);
         }
         head.write()
     }
 
-    /// Replays a committed transaction found in the on-disk log at mount.
+    fn write_empty_head(&self, cache: &BufferCache, head_block: u64, seq: u64) -> KernelResult<()> {
+        let mut head = cache.bread(head_block)?;
+        put_u32(head.data_mut(), LOG_HEAD_COUNT_OFF, 0);
+        put_u64(head.data_mut(), LOG_HEAD_SEQ_OFF, seq);
+        head.write()
+    }
+
+    /// Replays committed transactions found in either on-disk log region at
+    /// mount, oldest sequence first.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn recover(&self, cache: &BufferCache) -> KernelResult<usize> {
-        let head = cache.bread(self.start)?;
-        let n = get_u32(head.data(), 0) as usize;
-        if n == 0 || n > self.size - 1 {
+        let mut committed: Vec<(u64, u64, Vec<u64>)> = Vec::new();
+        for region in 0..2u64 {
+            let head_block = self.start + region * self.region_size as u64;
+            let head = cache.bread(head_block)?;
+            let n = get_u32(head.data(), LOG_HEAD_COUNT_OFF) as usize;
+            if n == 0 || n > self.capacity {
+                continue;
+            }
+            let seq = get_u64(head.data(), LOG_HEAD_SEQ_OFF);
+            let homes: Vec<u64> =
+                (0..n).map(|i| get_u32(head.data(), LOG_HEAD_BLOCKS_OFF + i * 4) as u64).collect();
+            if homes.iter().any(|&h| h < self.home_range.0 || h >= self.home_range.1) {
+                // Corrupt or foreign-format header: treat as clean rather
+                // than install over arbitrary blocks.
+                continue;
+            }
+            committed.push((seq, head_block, homes));
+        }
+        if committed.is_empty() {
             return Ok(0);
         }
-        let homes: Vec<u64> = (0..n).map(|i| get_u32(head.data(), 4 + i * 4) as u64).collect();
-        drop(head);
-        for (i, &home) in homes.iter().enumerate() {
-            let log_block = cache.bread(self.start + 1 + i as u64)?;
-            let content = log_block.data().to_vec();
-            drop(log_block);
-            let mut dst = cache.bread(home)?;
-            dst.data_mut().copy_from_slice(&content);
-            dst.write()?;
+        committed.sort_by_key(|&(seq, _, _)| seq);
+        let mut replayed = 0usize;
+        for (_, head_block, homes) in &committed {
+            for (i, &home) in homes.iter().enumerate() {
+                let log_block = cache.bread(head_block + 1 + i as u64)?;
+                let content = log_block.data().to_vec();
+                drop(log_block);
+                let mut dst = cache.bread(home)?;
+                dst.data_mut().copy_from_slice(&content);
+                dst.write()?;
+            }
+            replayed += homes.len();
         }
-        self.write_head(cache, &[])?;
-        cache.flush_device()?;
-        Ok(n)
+        self.barrier(cache)?;
+        for &(seq, head_block, _) in &committed {
+            self.write_empty_head(cache, head_block, seq)?;
+        }
+        self.barrier(cache)?;
+        self.counters.recoveries.inc();
+        self.counters.blocks_logged.add(replayed as u64);
+        Ok(replayed)
     }
 }
 
@@ -184,17 +522,47 @@ mod tests {
         {
             let mut b = cache.bread(900).unwrap();
             b.data_mut().fill(0x3C);
+            log.log_write(&b).unwrap();
         }
-        log.log_write(900).unwrap();
         log.end_op(&cache).unwrap();
         let mut raw = vec![0u8; 4096];
         cache.device().read_block(900, &mut raw).unwrap();
         assert!(raw.iter().all(|&b| b == 0x3C));
+        let stats = log.stats();
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.ops_committed, 1);
+        assert_eq!(stats.barriers, 2);
     }
 
     #[test]
     fn recover_is_noop_on_clean_log() {
         let (cache, log) = setup();
         assert_eq!(log.recover(&cache).unwrap(), 0);
+    }
+
+    #[test]
+    fn recover_replays_from_either_region() {
+        for region in 0..2u64 {
+            let (cache, log) = setup();
+            let half = (LOGSIZE / 2) as u64;
+            let head_block = 2 + region * half;
+            let target = 910u64;
+            {
+                let mut log_data = cache.getblk_zeroed(head_block + 1).unwrap();
+                log_data.data_mut().fill(0x77);
+                log_data.write().unwrap();
+                drop(log_data);
+                let mut head = cache.bread(head_block).unwrap();
+                put_u32(head.data_mut(), LOG_HEAD_COUNT_OFF, 1);
+                put_u64(head.data_mut(), LOG_HEAD_SEQ_OFF, region);
+                put_u32(head.data_mut(), LOG_HEAD_BLOCKS_OFF, target as u32);
+                head.write().unwrap();
+            }
+            assert_eq!(log.recover(&cache).unwrap(), 1, "region {region}");
+            let mut raw = vec![0u8; 4096];
+            cache.device().read_block(target, &mut raw).unwrap();
+            assert_eq!(raw[0], 0x77, "region {region}");
+            assert_eq!(log.recover(&cache).unwrap(), 0, "region {region}");
+        }
     }
 }

@@ -1,16 +1,19 @@
-//! Block and inode allocation (the free bitmap and the inode table scan).
+//! Block and inode allocation over per-allocation-group bitmaps.
 //!
 //! All allocation happens inside the caller's transaction: bitmap and inode
 //! blocks are modified through the buffer cache and recorded with
-//! [`Log::log_write`](crate::log::Log::log_write).  A single allocation lock
-//! serializes scans — the locking the paper had to add to the ported code
-//! (§6.1).
+//! [`Log::log_write`](crate::log::Log::log_write).  The paper's single
+//! allocation lock (§6.1) is split ext4-style into one lock per
+//! [`AllocGroups`](crate::core::AllocGroups) group: a thread scans only its
+//! home group's slice of the bitmap (one `bread` per bitmap *block*,
+//! skipping full `0xff` bytes) and steals from other groups only when its
+//! own range is exhausted.
 
 use bento::bentoks::SuperBlock;
 use simkernel::error::{Errno, KernelError, KernelResult};
 
 use crate::core::FsCore;
-use crate::layout::{Dinode, DiskSuperblock, BPB, T_FREE};
+use crate::layout::{get_u16, Dinode, DiskSuperblock, BPB, T_FREE};
 
 impl FsCore {
     /// Allocates a zeroed data block and returns its block number.  Must be
@@ -20,34 +23,77 @@ impl FsCore {
     ///
     /// [`Errno::NoSpc`] when no free block exists; I/O errors propagate.
     pub fn balloc(&self, sb: &SuperBlock) -> KernelResult<u64> {
-        let total = self.dsb.size as u64;
-        let data_start = self.first_data_block();
-        let mut alloc = self.alloc.lock();
-        let start = alloc.block_hint.max(data_start);
-        // Scan from the hint to the end, then wrap to the beginning.
-        let candidates = (start..total).chain(data_start..start);
-        for blockno in candidates {
-            let bitmap_block = self.dsb.bitmap_block(blockno);
-            let index = (blockno % BPB as u64) as usize;
-            let byte = index / 8;
-            let bit = 1u8 << (index % 8);
-            let mut bblock = sb.bread(bitmap_block)?;
-            if bblock.data()[byte] & bit == 0 {
-                bblock.data_mut()[byte] |= bit;
-                drop(bblock);
-                self.log.log_write(bitmap_block)?;
-                // Zero the newly allocated block so stale contents never leak.
-                let zeroed = sb.bread_zeroed(blockno)?;
-                drop(zeroed);
-                self.log.log_write(blockno)?;
-                alloc.block_hint = blockno + 1;
-                if let Some(used) = alloc.used_blocks.as_mut() {
-                    *used += 1;
-                }
+        let groups = self.alloc.group_count();
+        let home = self.alloc.home_group();
+        for attempt in 0..groups {
+            let g = (home + attempt) % groups;
+            if let Some(blockno) = self.balloc_in_group(sb, g)? {
                 return Ok(blockno);
             }
         }
         Err(KernelError::with_context(Errno::NoSpc, "xv6fs: out of data blocks"))
+    }
+
+    /// Tries to allocate from group `g`, scanning from its cursor and
+    /// wrapping within the group's range.
+    fn balloc_in_group(&self, sb: &SuperBlock, g: usize) -> KernelResult<Option<u64>> {
+        let (lo, hi) = self.alloc.block_range(g);
+        if lo >= hi {
+            return Ok(None);
+        }
+        let mut state = self.alloc.lock_group(g);
+        let start = state.block_hint.clamp(lo, hi - 1);
+        let found = match self.claim_free_block(sb, start, hi)? {
+            Some(b) => Some(b),
+            None => self.claim_free_block(sb, lo, start)?,
+        };
+        let Some(blockno) = found else {
+            return Ok(None);
+        };
+        // Zero the newly allocated block so stale contents never leak.
+        let zeroed = sb.bread_zeroed(blockno)?;
+        self.log.log_write(&zeroed)?;
+        drop(zeroed);
+        state.block_hint = if blockno + 1 < hi { blockno + 1 } else { lo };
+        if let Some(used) = state.used_blocks.as_mut() {
+            *used += 1;
+        }
+        drop(state);
+        self.alloc.note_alloc(g);
+        Ok(Some(blockno))
+    }
+
+    /// Scans `[from, to)` for a free bit, one `bread` per bitmap block,
+    /// skipping full bytes; claims (sets and logs) the first free bit.
+    fn claim_free_block(&self, sb: &SuperBlock, from: u64, to: u64) -> KernelResult<Option<u64>> {
+        let mut blockno = from;
+        while blockno < to {
+            let mut bblock = sb.bread(self.dsb.bitmap_block(blockno))?;
+            // First block covered by this bitmap block, and the scan end
+            // within it.
+            let base = blockno - (blockno % BPB as u64);
+            let end = to.min(base + BPB as u64);
+            let mut candidate = blockno;
+            while candidate < end {
+                let index = (candidate % BPB as u64) as usize;
+                let byte = index / 8;
+                if bblock.data()[byte] == 0xff {
+                    // Whole byte allocated: jump to the next byte boundary.
+                    candidate = base + (byte as u64 + 1) * 8;
+                    continue;
+                }
+                let bit = 1u8 << (index % 8);
+                if bblock.data()[byte] & bit == 0 {
+                    bblock.data_mut()[byte] |= bit;
+                    self.log.log_write(&bblock)?;
+                    return Ok(Some(candidate));
+                }
+                candidate += 1;
+            }
+            drop(bblock);
+            blockno = end;
+        }
+        Ok(None)
     }
 
     /// Frees data block `blockno`.  Must be called inside a transaction.
@@ -57,23 +103,24 @@ impl FsCore {
     /// [`Errno::Inval`] if the block was already free (double free —
     /// precisely the class of bug Table 1 counts); I/O errors propagate.
     pub fn bfree(&self, sb: &SuperBlock, blockno: u64) -> KernelResult<()> {
-        let bitmap_block = self.dsb.bitmap_block(blockno);
+        let g = self.alloc.group_of_block(blockno);
+        let mut state = self.alloc.lock_group(g);
         let index = (blockno % BPB as u64) as usize;
         let byte = index / 8;
         let bit = 1u8 << (index % 8);
-        let mut bblock = sb.bread(bitmap_block)?;
+        let mut bblock = sb.bread(self.dsb.bitmap_block(blockno))?;
         if bblock.data()[byte] & bit == 0 {
             return Err(KernelError::with_context(Errno::Inval, "xv6fs: freeing a free block"));
         }
         bblock.data_mut()[byte] &= !bit;
+        self.log.log_write(&bblock)?;
         drop(bblock);
-        self.log.log_write(bitmap_block)?;
-        let mut alloc = self.alloc.lock();
-        if let Some(used) = alloc.used_blocks.as_mut() {
+        if let Some(used) = state.used_blocks.as_mut() {
             *used = used.saturating_sub(1);
         }
-        if blockno < alloc.block_hint {
-            alloc.block_hint = blockno;
+        let (lo, _) = self.alloc.block_range(g);
+        if blockno < state.block_hint.max(lo) {
+            state.block_hint = blockno;
         }
         Ok(())
     }
@@ -85,82 +132,144 @@ impl FsCore {
     ///
     /// [`Errno::NoSpc`] when the inode table is full; I/O errors propagate.
     pub fn ialloc(&self, sb: &SuperBlock, ftype: u16) -> KernelResult<u32> {
-        let mut alloc = self.alloc.lock();
-        let ninodes = self.dsb.ninodes;
-        let start = alloc.inode_hint.max(1);
-        let candidates = (start..ninodes).chain(1..start);
-        for inum in candidates {
-            let blockno = self.dsb.inode_block(inum);
-            let mut block = sb.bread(blockno)?;
-            let offset = DiskSuperblock::inode_offset(inum);
-            let existing = Dinode::decode(block.data(), offset);
-            if existing.ftype == T_FREE {
-                let fresh = Dinode { ftype, nlink: 0, ..Dinode::default() };
-                fresh.encode(block.data_mut(), offset);
-                drop(block);
-                self.log.log_write(blockno)?;
-                alloc.inode_hint = inum + 1;
-                if let Some(used) = alloc.used_inodes.as_mut() {
-                    *used += 1;
-                }
+        let groups = self.alloc.group_count();
+        let home = self.alloc.home_group();
+        for attempt in 0..groups {
+            let g = (home + attempt) % groups;
+            if let Some(inum) = self.ialloc_in_group(sb, g, ftype)? {
                 return Ok(inum);
             }
         }
         Err(KernelError::with_context(Errno::NoSpc, "xv6fs: out of inodes"))
     }
 
-    /// First block usable for file data (everything before it is metadata).
-    pub fn first_data_block(&self) -> u64 {
-        let bitmap_blocks = (self.dsb.size as u64).div_ceil(BPB as u64);
-        self.dsb.bmapstart as u64 + bitmap_blocks
+    fn ialloc_in_group(&self, sb: &SuperBlock, g: usize, ftype: u16) -> KernelResult<Option<u32>> {
+        let (lo, hi) = self.alloc.inode_range(g);
+        if lo >= hi {
+            return Ok(None);
+        }
+        let mut state = self.alloc.lock_group(g);
+        let start = state.inode_hint.clamp(lo, hi - 1);
+        let found = match self.claim_free_inode(sb, start, hi, ftype)? {
+            Some(inum) => Some(inum),
+            None => self.claim_free_inode(sb, lo, start, ftype)?,
+        };
+        let Some(inum) = found else {
+            return Ok(None);
+        };
+        state.inode_hint = if inum + 1 < hi { inum + 1 } else { lo };
+        if let Some(used) = state.used_inodes.as_mut() {
+            *used += 1;
+        }
+        drop(state);
+        self.alloc.note_alloc(g);
+        Ok(Some(inum))
     }
 
-    /// Counts allocated data blocks (cached after the first scan).
+    /// Scans inode slots `[from, to)` for a free one, one `bread` per inode
+    /// *block* (checking every slot a block holds before reading the next).
+    fn claim_free_inode(
+        &self,
+        sb: &SuperBlock,
+        from: u32,
+        to: u32,
+        ftype: u16,
+    ) -> KernelResult<Option<u32>> {
+        let mut inum = from;
+        while inum < to {
+            let blockno = self.dsb.inode_block(inum);
+            let mut block = sb.bread(blockno)?;
+            let mut candidate = inum;
+            while candidate < to && self.dsb.inode_block(candidate) == blockno {
+                let offset = DiskSuperblock::inode_offset(candidate);
+                // The type field alone distinguishes free slots; decoding
+                // the whole inode per candidate is wasted work.
+                if get_u16(block.data(), offset) == T_FREE {
+                    let fresh = Dinode { ftype, nlink: 0, ..Dinode::default() };
+                    fresh.encode(block.data_mut(), offset);
+                    self.log.log_write(&block)?;
+                    return Ok(Some(candidate));
+                }
+                candidate += 1;
+            }
+            drop(block);
+            inum = candidate;
+        }
+        Ok(None)
+    }
+
+    /// First block usable for file data (everything before it is metadata).
+    pub fn first_data_block(&self) -> u64 {
+        self.dsb.data_start()
+    }
+
+    /// Counts allocated data blocks (cached per group after the first
+    /// scan; one `bread` per bitmap block, not per bit).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn used_block_count(&self, sb: &SuperBlock) -> KernelResult<u64> {
-        {
-            let alloc = self.alloc.lock();
-            if let Some(used) = alloc.used_blocks {
-                return Ok(used);
+        let mut total = 0u64;
+        for g in 0..self.alloc.group_count() {
+            let mut state = self.alloc.lock_group(g);
+            if let Some(used) = state.used_blocks {
+                total += used;
+                continue;
             }
-        }
-        let mut used = 0u64;
-        let data_start = self.first_data_block();
-        for blockno in data_start..self.dsb.size as u64 {
-            let bblock = sb.bread(self.dsb.bitmap_block(blockno))?;
-            let index = (blockno % BPB as u64) as usize;
-            if bblock.data()[index / 8] & (1 << (index % 8)) != 0 {
-                used += 1;
+            let (lo, hi) = self.alloc.block_range(g);
+            let mut used = 0u64;
+            let mut blockno = lo;
+            while blockno < hi {
+                let bblock = sb.bread(self.dsb.bitmap_block(blockno))?;
+                let base = blockno - (blockno % BPB as u64);
+                let end = hi.min(base + BPB as u64);
+                for b in blockno..end {
+                    let index = (b % BPB as u64) as usize;
+                    if bblock.data()[index / 8] & (1 << (index % 8)) != 0 {
+                        used += 1;
+                    }
+                }
+                drop(bblock);
+                blockno = end;
             }
+            state.used_blocks = Some(used);
+            total += used;
         }
-        self.alloc.lock().used_blocks = Some(used);
-        Ok(used)
+        Ok(total)
     }
 
-    /// Counts allocated inodes (cached after the first scan).
+    /// Counts allocated inodes (cached per group after the first scan; one
+    /// `bread` per inode block).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn used_inode_count(&self, sb: &SuperBlock) -> KernelResult<u64> {
-        {
-            let alloc = self.alloc.lock();
-            if let Some(used) = alloc.used_inodes {
-                return Ok(used);
+        let mut total = 0u64;
+        for g in 0..self.alloc.group_count() {
+            let mut state = self.alloc.lock_group(g);
+            if let Some(used) = state.used_inodes {
+                total += used;
+                continue;
             }
-        }
-        let mut used = 0u64;
-        for inum in 1..self.dsb.ninodes {
-            let block = sb.bread(self.dsb.inode_block(inum))?;
-            if Dinode::decode(block.data(), DiskSuperblock::inode_offset(inum)).ftype != T_FREE {
-                used += 1;
+            let (lo, hi) = self.alloc.inode_range(g);
+            let mut used = 0u64;
+            let mut inum = lo;
+            while inum < hi {
+                let blockno = self.dsb.inode_block(inum);
+                let block = sb.bread(blockno)?;
+                while inum < hi && self.dsb.inode_block(inum) == blockno {
+                    if get_u16(block.data(), DiskSuperblock::inode_offset(inum)) != T_FREE {
+                        used += 1;
+                    }
+                    inum += 1;
+                }
             }
+            state.used_inodes = Some(used);
+            total += used;
         }
-        self.alloc.lock().used_inodes = Some(used);
-        Ok(used)
+        Ok(total)
     }
 
     /// Total data blocks available to files.
@@ -179,14 +288,18 @@ mod tests {
     use simkernel::dev::{BlockDevice, RamDisk};
     use std::sync::Arc;
 
-    fn fresh_fs(blocks: u64) -> (SuperBlock, FsCore) {
+    fn fresh_fs_with_groups(blocks: u64, groups: usize) -> (SuperBlock, FsCore) {
         let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(4096, blocks));
         mkfs_on_device(&dev, 256).unwrap();
         let sb = userspace_superblock(Arc::new(KernelBlockIo::new(dev, 512)), "test");
         let block = sb.bread(1).unwrap();
         let dsb = DiskSuperblock::decode(block.data()).unwrap();
         drop(block);
-        (sb, FsCore::new(dsb))
+        (sb, FsCore::with_alloc_groups(dsb, groups))
+    }
+
+    fn fresh_fs(blocks: u64) -> (SuperBlock, FsCore) {
+        fresh_fs_with_groups(blocks, 0)
     }
 
     #[test]
@@ -215,7 +328,7 @@ mod tests {
 
     #[test]
     fn balloc_exhaustion_reports_nospc() {
-        let (sb, core) = fresh_fs(300);
+        let (sb, core) = fresh_fs(640);
         core.log.begin_op();
         let mut allocated = 0u64;
         loop {
@@ -239,6 +352,36 @@ mod tests {
     }
 
     #[test]
+    fn exhaustion_falls_back_to_stealing_from_other_groups() {
+        // With several groups on a small disk, a thread that exhausts its
+        // home range must keep allocating from the other groups until the
+        // disk is genuinely full.
+        let (sb, core) = fresh_fs_with_groups(640, 4);
+        assert!(core.alloc.group_count() >= 2);
+        let per_group: Vec<(u64, u64)> =
+            (0..core.alloc.group_count()).map(|g| core.alloc.block_range(g)).collect();
+        let total_free = core.total_data_blocks() - 1; // root dir data block
+        core.log.begin_op();
+        let mut got = Vec::new();
+        for i in 0..total_free {
+            got.push(core.balloc(&sb).unwrap());
+            if (i + 1).is_multiple_of(16) {
+                core.log.end_op(&sb).unwrap();
+                core.log.begin_op();
+            }
+        }
+        assert_eq!(core.balloc(&sb).unwrap_err().errno(), Errno::NoSpc);
+        core.log.end_op(&sb).unwrap();
+        // Every group's range was drained.
+        for (g, (lo, hi)) in per_group.iter().enumerate() {
+            assert!(
+                got.iter().any(|b| b >= lo && b < hi),
+                "group {g} range [{lo}, {hi}) untouched"
+            );
+        }
+    }
+
+    #[test]
     fn ialloc_skips_used_slots() {
         let (sb, core) = fresh_fs(2048);
         core.log.begin_op();
@@ -249,5 +392,27 @@ mod tests {
         assert!(a >= 2, "inode 1 is the root directory created by mkfs");
         // Counting sees root + the two new inodes.
         assert_eq!(core.used_inode_count(&sb).unwrap(), 3);
+    }
+
+    #[test]
+    fn group_geometry_covers_disk_exactly_once() {
+        let (_sb, core) = fresh_fs_with_groups(2048, 8);
+        let groups = core.alloc.group_count();
+        let mut blocks_covered = 0u64;
+        let mut inodes_covered = 0u64;
+        for g in 0..groups {
+            let (blo, bhi) = core.alloc.block_range(g);
+            let (ilo, ihi) = core.alloc.inode_range(g);
+            blocks_covered += bhi - blo;
+            inodes_covered += (ihi - ilo) as u64;
+            for b in (blo..bhi).step_by(97) {
+                assert_eq!(core.alloc.group_of_block(b), g);
+            }
+            for i in ilo..ihi {
+                assert_eq!(core.alloc.group_of_inode(i), g);
+            }
+        }
+        assert_eq!(blocks_covered, core.dsb.size as u64 - core.first_data_block());
+        assert_eq!(inodes_covered, core.dsb.ninodes as u64 - 1);
     }
 }

@@ -22,7 +22,9 @@ use bento::bentoks::SuperBlock;
 use bento::fileops::{CreateReply, FileSystem, Request};
 use bento::upgrade::StateBundle;
 use simkernel::error::{Errno, KernelError, KernelResult};
-use simkernel::vfs::{DirEntry, FileMode, FileType, InodeAttr, OpenFlags, SetAttr, StatFs};
+use simkernel::vfs::{
+    DirEntry, FileMode, FileType, InodeAttr, OpenFlags, SetAttr, StatFs, WritePathStats,
+};
 
 use crate::core::{FsCore, FsStats};
 use crate::inode::InodeData;
@@ -42,6 +44,8 @@ const TRUNC_CHUNK_BLOCKS: u64 = 1024;
 pub struct Xv6FileSystem {
     core: RwLock<Option<FsCore>>,
     label: &'static str,
+    /// Allocation-group count applied at mount (`0` = default).
+    alloc_groups: usize,
 }
 
 impl std::fmt::Debug for Xv6FileSystem {
@@ -59,23 +63,46 @@ impl Default for Xv6FileSystem {
 impl Xv6FileSystem {
     /// Creates an unmounted file system instance.
     pub fn new() -> Self {
-        Xv6FileSystem { core: RwLock::new(None), label: "xv6fs" }
+        Xv6FileSystem { core: RwLock::new(None), label: "xv6fs", alloc_groups: 0 }
     }
 
     /// Creates an instance with a distinguishing label (used by the upgrade
     /// example to tell "v1" from "v2" in diagnostics).
     pub fn with_label(label: &'static str) -> Self {
-        Xv6FileSystem { core: RwLock::new(None), label }
+        Xv6FileSystem { core: RwLock::new(None), label, alloc_groups: 0 }
+    }
+
+    /// Sets the allocation-group count applied at mount (`0` = default;
+    /// rounded to a power of two).  Exposed through the `alloc_groups`
+    /// mount option.
+    #[must_use]
+    pub fn with_alloc_groups(mut self, alloc_groups: usize) -> Self {
+        self.alloc_groups = alloc_groups;
+        self
     }
 
     /// Cumulative activity statistics (zeroed until mounted).
     pub fn stats(&self) -> FsStats {
-        self.core.read().as_ref().map(|c| *c.stats.lock()).unwrap_or_default()
+        self.core.read().as_ref().map(|c| c.stats.snapshot()).unwrap_or_default()
     }
 
     /// Log statistics (zeroed until mounted).
     pub fn log_stats(&self) -> LogStats {
         self.core.read().as_ref().map(|c| c.log.stats()).unwrap_or_default()
+    }
+
+    /// Write-path batching statistics (log batching + allocator spread).
+    pub fn write_path_stats(&self) -> Option<WritePathStats> {
+        self.core.read().as_ref().map(|c| {
+            let log = c.log.stats();
+            WritePathStats {
+                log_commits: log.commits,
+                log_ops: log.ops_committed,
+                log_blocks: log.blocks_logged,
+                log_barriers: log.barriers,
+                alloc_per_group: c.alloc.allocations_per_group(),
+            }
+        })
     }
 
     fn with_core<T>(&self, f: impl FnOnce(&FsCore) -> KernelResult<T>) -> KernelResult<T> {
@@ -93,7 +120,7 @@ impl Xv6FileSystem {
         if (dsb.size as u64) > sb.nblocks() {
             return Err(KernelError::with_context(Errno::Inval, "xv6fs: image larger than device"));
         }
-        let core = FsCore::new(dsb);
+        let core = FsCore::with_alloc_groups(dsb, self.alloc_groups);
         core.log.recover(sb)?;
         *self.core.write() = Some(core);
         Ok(())
@@ -163,6 +190,12 @@ impl FileSystem for Xv6FileSystem {
     }
 
     fn destroy(&self, _req: &Request, sb: &SuperBlock) -> KernelResult<()> {
+        // Commit any group still absorbing completed operations, then make
+        // everything durable.  Unmounting an unattached instance is a
+        // plain sync; a failed final commit must surface, not vanish.
+        if self.core.read().is_some() {
+            self.with_core(|core| core.log.flush(sb))?;
+        }
         sb.sync_all()
     }
 
@@ -241,28 +274,34 @@ impl FileSystem for Xv6FileSystem {
         _flags: OpenFlags,
     ) -> KernelResult<CreateReply> {
         self.with_core(|core| {
-            let _ns = core.namespace.lock();
-            core.log.begin_op();
-            let result = (|| {
-                let parent = parent as u32;
-                let dir = core.icache.get(parent);
-                let mut dir_data = dir.data.write();
-                core.load_inode(sb, parent, &mut dir_data)?;
-                if core.dirlookup(sb, &mut dir_data, name)?.is_some() {
-                    return Err(KernelError::with_context(Errno::Exist, "xv6fs: file exists"));
-                }
-                let inum = core.ialloc(sb, T_FILE)?;
-                let inode = core.icache.get(inum);
-                let mut data = inode.data.write();
-                *data = InodeData { valid: true, ftype: T_FILE, nlink: 1, ..InodeData::default() };
-                core.update_inode(sb, inum, &data)?;
-                core.dirlink(sb, parent, &mut dir_data, name, inum)?;
-                Ok((inum, data.attr(inum)))
-            })();
+            // The namespace lock is released before end_op so the group
+            // commit (barriers) runs outside it: other creators proceed and
+            // absorb into the forming group instead of serializing.
+            let result = {
+                let _ns = core.namespace.lock();
+                core.log.begin_op();
+                (|| {
+                    let parent = parent as u32;
+                    let dir = core.icache.get(parent);
+                    let mut dir_data = dir.data.write();
+                    core.load_inode(sb, parent, &mut dir_data)?;
+                    if core.dirlookup(sb, &mut dir_data, name)?.is_some() {
+                        return Err(KernelError::with_context(Errno::Exist, "xv6fs: file exists"));
+                    }
+                    let inum = core.ialloc(sb, T_FILE)?;
+                    let inode = core.icache.get(inum);
+                    let mut data = inode.data.write();
+                    *data =
+                        InodeData { valid: true, ftype: T_FILE, nlink: 1, ..InodeData::default() };
+                    core.update_inode(sb, inum, &data)?;
+                    core.dirlink(sb, parent, &mut dir_data, name, inum)?;
+                    Ok((inum, data.attr(inum)))
+                })()
+            };
             core.log.end_op(sb)?;
             let (inum, attr) = result?;
             core.note_open(inum);
-            core.stats.lock().creates += 1;
+            core.stats.creates.inc();
             Ok(CreateReply { attr, fh: inum as u64 })
         })
     }
@@ -276,31 +315,37 @@ impl FileSystem for Xv6FileSystem {
         _mode: FileMode,
     ) -> KernelResult<InodeAttr> {
         self.with_core(|core| {
-            let _ns = core.namespace.lock();
-            core.log.begin_op();
-            let result = (|| {
-                let parent = parent as u32;
-                let dir = core.icache.get(parent);
-                let mut dir_data = dir.data.write();
-                core.load_inode(sb, parent, &mut dir_data)?;
-                if core.dirlookup(sb, &mut dir_data, name)?.is_some() {
-                    return Err(KernelError::with_context(Errno::Exist, "xv6fs: directory exists"));
-                }
-                let inum = core.ialloc(sb, T_DIR)?;
-                let inode = core.icache.get(inum);
-                let mut data = inode.data.write();
-                *data = InodeData { valid: true, ftype: T_DIR, nlink: 1, ..InodeData::default() };
-                core.dir_init(sb, inum, &mut data, parent)?;
-                core.update_inode(sb, inum, &data)?;
-                // ".." inside the child references the parent.
-                dir_data.nlink += 1;
-                core.update_inode(sb, parent, &dir_data)?;
-                core.dirlink(sb, parent, &mut dir_data, name, inum)?;
-                Ok(data.attr(inum))
-            })();
+            let result = {
+                let _ns = core.namespace.lock();
+                core.log.begin_op();
+                (|| {
+                    let parent = parent as u32;
+                    let dir = core.icache.get(parent);
+                    let mut dir_data = dir.data.write();
+                    core.load_inode(sb, parent, &mut dir_data)?;
+                    if core.dirlookup(sb, &mut dir_data, name)?.is_some() {
+                        return Err(KernelError::with_context(
+                            Errno::Exist,
+                            "xv6fs: directory exists",
+                        ));
+                    }
+                    let inum = core.ialloc(sb, T_DIR)?;
+                    let inode = core.icache.get(inum);
+                    let mut data = inode.data.write();
+                    *data =
+                        InodeData { valid: true, ftype: T_DIR, nlink: 1, ..InodeData::default() };
+                    core.dir_init(sb, inum, &mut data, parent)?;
+                    core.update_inode(sb, inum, &data)?;
+                    // ".." inside the child references the parent.
+                    dir_data.nlink += 1;
+                    core.update_inode(sb, parent, &dir_data)?;
+                    core.dirlink(sb, parent, &mut dir_data, name, inum)?;
+                    Ok(data.attr(inum))
+                })()
+            };
             core.log.end_op(sb)?;
             let attr = result?;
-            core.stats.lock().creates += 1;
+            core.stats.creates.inc();
             Ok(attr)
         })
     }
@@ -310,37 +355,40 @@ impl FileSystem for Xv6FileSystem {
             return Err(KernelError::with_context(Errno::Inval, "xv6fs: cannot unlink . or .."));
         }
         self.with_core(|core| {
-            let _ns = core.namespace.lock();
-            core.log.begin_op();
-            let reap: KernelResult<Option<u32>> = (|| {
-                let parent = parent as u32;
-                let dir = core.icache.get(parent);
-                let mut dir_data = dir.data.write();
-                core.load_inode(sb, parent, &mut dir_data)?;
-                let (inum, offset) = core.dirlookup(sb, &mut dir_data, name)?.ok_or_else(|| {
-                    KernelError::with_context(Errno::NoEnt, "xv6fs: no such entry")
-                })?;
-                let inode = core.icache.get(inum);
-                let mut data = inode.data.write();
-                core.load_inode(sb, inum, &mut data)?;
-                if data.is_dir() {
-                    return Err(KernelError::with_context(
-                        Errno::IsDir,
-                        "xv6fs: use rmdir for directories",
-                    ));
-                }
-                core.dir_remove_at(sb, parent, &mut dir_data, offset)?;
-                data.nlink = data.nlink.saturating_sub(1);
-                core.update_inode(sb, inum, &data)?;
-                let should_reap = data.nlink == 0 && core.open_count(inum) == 0;
-                Ok(should_reap.then_some(inum))
-            })();
+            let reap: KernelResult<Option<u32>> = {
+                let _ns = core.namespace.lock();
+                core.log.begin_op();
+                (|| {
+                    let parent = parent as u32;
+                    let dir = core.icache.get(parent);
+                    let mut dir_data = dir.data.write();
+                    core.load_inode(sb, parent, &mut dir_data)?;
+                    let (inum, offset) =
+                        core.dirlookup(sb, &mut dir_data, name)?.ok_or_else(|| {
+                            KernelError::with_context(Errno::NoEnt, "xv6fs: no such entry")
+                        })?;
+                    let inode = core.icache.get(inum);
+                    let mut data = inode.data.write();
+                    core.load_inode(sb, inum, &mut data)?;
+                    if data.is_dir() {
+                        return Err(KernelError::with_context(
+                            Errno::IsDir,
+                            "xv6fs: use rmdir for directories",
+                        ));
+                    }
+                    core.dir_remove_at(sb, parent, &mut dir_data, offset)?;
+                    data.nlink = data.nlink.saturating_sub(1);
+                    core.update_inode(sb, inum, &data)?;
+                    let should_reap = data.nlink == 0 && core.open_count(inum) == 0;
+                    Ok(should_reap.then_some(inum))
+                })()
+            };
             core.log.end_op(sb)?;
             let reap = reap?;
             if let Some(inum) = reap {
                 Self::reap_inode(core, sb, inum)?;
             }
-            core.stats.lock().removes += 1;
+            core.stats.removes.inc();
             Ok(())
         })
     }
@@ -350,39 +398,45 @@ impl FileSystem for Xv6FileSystem {
             return Err(KernelError::with_context(Errno::Inval, "xv6fs: cannot rmdir . or .."));
         }
         self.with_core(|core| {
-            let _ns = core.namespace.lock();
-            core.log.begin_op();
-            let reap: KernelResult<u32> = (|| {
-                let parent = parent as u32;
-                let dir = core.icache.get(parent);
-                let mut dir_data = dir.data.write();
-                core.load_inode(sb, parent, &mut dir_data)?;
-                let (inum, offset) = core.dirlookup(sb, &mut dir_data, name)?.ok_or_else(|| {
-                    KernelError::with_context(Errno::NoEnt, "xv6fs: no such entry")
-                })?;
-                let inode = core.icache.get(inum);
-                let mut data = inode.data.write();
-                core.load_inode(sb, inum, &mut data)?;
-                if !data.is_dir() {
-                    return Err(KernelError::with_context(Errno::NotDir, "xv6fs: not a directory"));
-                }
-                if !core.dir_is_empty(sb, &mut data)? {
-                    return Err(KernelError::with_context(
-                        Errno::NotEmpty,
-                        "xv6fs: directory not empty",
-                    ));
-                }
-                core.dir_remove_at(sb, parent, &mut dir_data, offset)?;
-                dir_data.nlink = dir_data.nlink.saturating_sub(1);
-                core.update_inode(sb, parent, &dir_data)?;
-                data.nlink = 0;
-                core.update_inode(sb, inum, &data)?;
-                Ok(inum)
-            })();
+            let reap: KernelResult<u32> = {
+                let _ns = core.namespace.lock();
+                core.log.begin_op();
+                (|| {
+                    let parent = parent as u32;
+                    let dir = core.icache.get(parent);
+                    let mut dir_data = dir.data.write();
+                    core.load_inode(sb, parent, &mut dir_data)?;
+                    let (inum, offset) =
+                        core.dirlookup(sb, &mut dir_data, name)?.ok_or_else(|| {
+                            KernelError::with_context(Errno::NoEnt, "xv6fs: no such entry")
+                        })?;
+                    let inode = core.icache.get(inum);
+                    let mut data = inode.data.write();
+                    core.load_inode(sb, inum, &mut data)?;
+                    if !data.is_dir() {
+                        return Err(KernelError::with_context(
+                            Errno::NotDir,
+                            "xv6fs: not a directory",
+                        ));
+                    }
+                    if !core.dir_is_empty(sb, &mut data)? {
+                        return Err(KernelError::with_context(
+                            Errno::NotEmpty,
+                            "xv6fs: directory not empty",
+                        ));
+                    }
+                    core.dir_remove_at(sb, parent, &mut dir_data, offset)?;
+                    dir_data.nlink = dir_data.nlink.saturating_sub(1);
+                    core.update_inode(sb, parent, &dir_data)?;
+                    data.nlink = 0;
+                    core.update_inode(sb, inum, &data)?;
+                    Ok(inum)
+                })()
+            };
             core.log.end_op(sb)?;
             let inum = reap?;
             Self::reap_inode(core, sb, inum)?;
-            core.stats.lock().removes += 1;
+            core.stats.removes.inc();
             Ok(())
         })
     }
@@ -488,6 +542,8 @@ impl FileSystem for Xv6FileSystem {
                 }
                 Ok(reap_target)
             })();
+            // Commit outside the namespace lock (see create).
+            drop(_ns);
             core.log.end_op(sb)?;
             if let Some(inum) = reap? {
                 Self::reap_inode(core, sb, inum)?;
@@ -531,6 +587,8 @@ impl FileSystem for Xv6FileSystem {
                 core.dirlink(sb, newparent as u32, &mut parent_data, newname, inum)?;
                 Ok(attr)
             })();
+            // Commit outside the namespace lock (see create).
+            drop(_ns);
             core.log.end_op(sb)?;
             result
         })
@@ -637,11 +695,13 @@ impl FileSystem for Xv6FileSystem {
         _datasync: bool,
     ) -> KernelResult<()> {
         self.with_core(|core| {
-            core.stats.lock().fsyncs += 1;
-            // All transactions commit synchronously at end_op, so the data
-            // already sits in its home location; a device barrier makes it
-            // durable.  On the userspace (FUSE) provider this is a
-            // whole-disk-file fsync — the §6.4 cost.
+            core.stats.fsyncs.inc();
+            // Commit any group still absorbing completed operations (the
+            // pipelined log defers closing while a commit is in flight),
+            // then a device barrier makes everything durable.  On the
+            // userspace (FUSE) provider this is a whole-disk-file fsync —
+            // the §6.4 cost.
+            core.log.flush(sb)?;
             sb.sync_all()
         })
     }
@@ -672,23 +732,25 @@ impl FileSystem for Xv6FileSystem {
     }
 
     fn sync_fs(&self, _req: &Request, sb: &SuperBlock) -> KernelResult<()> {
+        self.with_core(|core| core.log.flush(sb))?;
         sb.sync_all()
+    }
+
+    fn write_path_stats(&self) -> Option<WritePathStats> {
+        Xv6FileSystem::write_path_stats(self)
     }
 
     fn extract_state(&self, _req: &Request, _sb: &SuperBlock) -> KernelResult<StateBundle> {
         self.with_core(|core| {
             let mut bundle = StateBundle::new();
-            let alloc = core.alloc.lock();
-            bundle.put("block_hint", &alloc.block_hint)?;
-            bundle.put("inode_hint", &alloc.inode_hint)?;
-            bundle.put("used_blocks", &alloc.used_blocks)?;
-            bundle.put("used_inodes", &alloc.used_inodes)?;
-            drop(alloc);
-            bundle.put("stats", &*core.stats.lock())?;
+            bundle.put("alloc_hints", &core.alloc.export_hints())?;
+            bundle.put("stats", &core.stats.snapshot())?;
             let log_stats = core.log.stats();
             bundle.put("log_commits", &log_stats.commits)?;
             bundle.put("log_blocks", &log_stats.blocks_logged)?;
             bundle.put("log_recoveries", &log_stats.recoveries)?;
+            bundle.put("log_ops", &log_stats.ops_committed)?;
+            bundle.put("log_barriers", &log_stats.barriers)?;
             let mut opens: Vec<(u32, u32)> = Vec::new();
             core.opens.for_each(|k, v| opens.push((*k, *v)));
             bundle.put("open_files", &opens)?;
@@ -706,20 +768,18 @@ impl FileSystem for Xv6FileSystem {
         // log recovery), then layer the transferred in-memory state on top.
         self.init(req, sb)?;
         self.with_core(|core| {
-            {
-                let mut alloc = core.alloc.lock();
-                alloc.block_hint = state.get_opt("block_hint")?.unwrap_or(0);
-                alloc.inode_hint = state.get_opt("inode_hint")?.unwrap_or(0);
-                alloc.used_blocks = state.get_opt("used_blocks")?.unwrap_or(None);
-                alloc.used_inodes = state.get_opt("used_inodes")?.unwrap_or(None);
+            if let Some(hints) = state.get_opt::<Vec<(u64, u64)>>("alloc_hints")? {
+                core.alloc.restore_hints(&hints);
             }
             if let Some(stats) = state.get_opt::<FsStats>("stats")? {
-                *core.stats.lock() = stats;
+                core.stats.restore(stats);
             }
             core.log.restore_stats(LogStats {
                 commits: state.get_opt("log_commits")?.unwrap_or(0),
                 blocks_logged: state.get_opt("log_blocks")?.unwrap_or(0),
                 recoveries: state.get_opt("log_recoveries")?.unwrap_or(0),
+                ops_committed: state.get_opt("log_ops")?.unwrap_or(0),
+                barriers: state.get_opt("log_barriers")?.unwrap_or(0),
             });
             if let Some(opens) = state.get_opt::<Vec<(u32, u32)>>("open_files")? {
                 for (inum, count) in opens {

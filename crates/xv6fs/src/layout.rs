@@ -53,8 +53,22 @@ pub const BPB: usize = BSIZE * 8;
 /// Maximum number of blocks one log transaction may modify.
 pub const MAXOPBLOCKS: usize = 64;
 
-/// Total log blocks (header + data) reserved on disk.
-pub const LOGSIZE: usize = 4 * MAXOPBLOCKS + 1;
+/// Total log blocks reserved on disk: **two** commit regions (the log is
+/// double-buffered so transaction groups can form while the previous group
+/// writes its barriers), each holding a header block plus room for four
+/// worst-case operations.
+pub const LOGSIZE: usize = 2 * (4 * MAXOPBLOCKS + 1);
+
+/// Byte offset of the logged-block count in a log-region header.
+pub const LOG_HEAD_COUNT_OFF: usize = 0;
+
+/// Byte offset of the commit sequence number (`u64`) in a log-region
+/// header.  Recovery uses it to replay regions in commit order.
+pub const LOG_HEAD_SEQ_OFF: usize = 8;
+
+/// Byte offset of the first logged home block number in a log-region
+/// header; entries are consecutive `u32`s.
+pub const LOG_HEAD_BLOCKS_OFF: usize = 16;
 
 /// Inode number of the root directory.
 pub const ROOT_INO: u32 = 1;

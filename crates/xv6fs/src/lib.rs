@@ -69,8 +69,16 @@ pub const BENTO_XV6_NAME: &str = "xv6fs_bento";
 /// Returns the mountable Bento file system type for xv6fs, ready to be
 /// registered with [`register_bento_fs`](bento::register_bento_fs) or the
 /// VFS directly.
+///
+/// Mount options: `alloc_groups=<n>` sets the allocation-group count and
+/// `cache_shards=<n>` the buffer-cache shard count (both default-tuned when
+/// absent), so workloads can sweep the knobs without rebuilding.
 pub fn fstype() -> BentoFsType {
-    BentoFsType::new(BENTO_XV6_NAME, || Box::new(Xv6FileSystem::new()))
+    BentoFsType::with_options(BENTO_XV6_NAME, |options| {
+        let alloc_groups =
+            options.get("alloc_groups").and_then(|v| v.parse::<usize>().ok()).unwrap_or_default();
+        Box::new(Xv6FileSystem::new().with_alloc_groups(alloc_groups))
+    })
 }
 
 #[cfg(test)]
@@ -299,7 +307,7 @@ mod tests {
     #[test]
     fn out_of_space_is_reported_and_recoverable() {
         // A deliberately tiny file system.
-        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(4096, 400));
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(4096, 600));
         mkfs::mkfs_on_device(&dev, 64).unwrap();
         let fs = fstype().mount_on(dev).unwrap();
         let f = fs.create(1, "filler", FileMode::regular()).unwrap();

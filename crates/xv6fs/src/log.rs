@@ -1,237 +1,663 @@
-//! The xv6 write-ahead log.
+//! The xv6 write-ahead log, restructured for pipelined group commit.
 //!
 //! Every operation that modifies the file system wraps its block writes in a
 //! transaction: [`Log::begin_op`] … modify blocks via [`Log::log_write`] …
-//! [`Log::end_op`].  When the last outstanding operation of a group ends,
-//! the log commits:
+//! [`Log::end_op`].  The commit protocol per group is the classic one:
 //!
-//! 1. copy each modified block (still sitting dirty in the buffer cache)
-//!    into the on-disk log area,
+//! 1. copy each modified block into the on-disk log area,
 //! 2. write the log header naming the blocks (the commit record) and issue a
 //!    barrier ([`SuperBlock::sync_all`]),
 //! 3. install the blocks to their home locations,
 //! 4. clear the header and issue a second barrier.
+//!
+//! What differs from the teaching implementation is *where the waiting
+//! happens*:
+//!
+//! * **Reservation, not serialization.**  [`Log::begin_op`] reserves
+//!   [`MAXOPBLOCKS`] slots from an atomic reservation counter and only
+//!   sleeps when the forming group is genuinely out of space — never merely
+//!   because a commit is in flight.
+//! * **Per-transaction staging.**  [`Log::log_write`] records the block and
+//!   a *frozen copy* of its bytes (taken under the buffer lock, so the
+//!   snapshot is exactly the state this operation produced) in thread-local
+//!   state.  The hot path takes no lock at all.
+//! * **Group merge at `end_op`.**  When an operation ends, its staged
+//!   blocks merge into the forming group (absorption dedups by block
+//!   number, keeping the newest snapshot by modification version).  The
+//!   group closes only at *quiescent* instants — no operation outstanding —
+//!   so it can never commit snapshots entangled with a still-running
+//!   operation's cache modifications (jbd2 drains handles the same way);
+//!   while a commit is in flight, closing defers to the committer's
+//!   handoff.
+//! * **Double-buffered commit.**  Commits alternate between two on-disk log
+//!   regions and run entirely outside the group mutex: while group *N*
+//!   writes its barriers into one region, group *N + 1* forms, absorbs
+//!   operations, and copies nothing until its own turn.  Commits install in
+//!   formation order (a sequence number in each region header keeps
+//!   [`Log::recover`] correct for either region).
+//!
+//! Because commits write the *frozen* bytes — both into the log area and,
+//! on conflict, directly to the home location via
+//! [`SuperBlock::write_raw`] — an operation that modifies a block while an
+//! earlier group holding that block is mid-commit can never leak its
+//! uncommitted bytes into the earlier group's transaction.
 //!
 //! On the kernel providers the barriers are device FLUSHes; on the
 //! userspace (FUSE) provider each barrier is an fsync of the whole backing
 //! disk file — which is exactly the cost asymmetry behind the paper's
 //! FUSE-vs-kernel gap (§6.4).
 //!
-//! [`Log::recover`] replays a committed-but-not-installed transaction after
-//! a crash, giving the usual xv6 crash-consistency guarantee.
+//! [`Log::recover`] replays committed-but-not-installed transactions from
+//! both regions (in sequence order) after a crash, giving the usual xv6
+//! crash-consistency guarantee.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::{Condvar, Mutex};
 
-use bento::bentoks::SuperBlock;
+use bento::bentoks::{BufferHead, SuperBlock};
 use simkernel::error::{Errno, KernelError, KernelResult};
+use simkernel::shard::StripedCounter;
 
-use crate::layout::{get_u32, put_u32, DiskSuperblock, BSIZE, LOGSIZE, MAXOPBLOCKS};
+use crate::layout::{
+    get_u32, get_u64, put_u32, put_u64, DiskSuperblock, BSIZE, LOGSIZE, LOG_HEAD_BLOCKS_OFF,
+    LOG_HEAD_COUNT_OFF, LOG_HEAD_SEQ_OFF, MAXOPBLOCKS,
+};
 
-#[derive(Debug, Default)]
-struct LogInner {
-    /// Block numbers (home addresses) participating in the current
-    /// transaction.
-    blocks: Vec<u64>,
-    /// Operations currently inside begin_op/end_op.
-    outstanding: u32,
-    /// Whether a commit is in progress.
-    committing: bool,
+/// One logged block: home address, modification version (orders snapshots
+/// of the same block), and the frozen bytes.
+#[derive(Debug)]
+struct LoggedBlock {
+    home: u64,
+    version: u64,
+    data: Vec<u8>,
 }
+
+/// The forming transaction group: completed operations merge here at
+/// `end_op` until the group closes and commits.
+#[derive(Debug, Default)]
+struct FormingGroup {
+    blocks: Vec<LoggedBlock>,
+    index: HashMap<u64, usize>,
+    ops: u64,
+}
+
+/// Per-thread, per-log transaction staging (no lock on the log_write path).
+#[derive(Debug, Default)]
+struct TxLocal {
+    depth: u32,
+    blocks: Vec<LoggedBlock>,
+    index: HashMap<u64, usize>,
+}
+
+thread_local! {
+    /// Keyed by [`Log::id`] so independent mounts never mix staging state.
+    static TX: RefCell<HashMap<u64, TxLocal>> = RefCell::new(HashMap::new());
+}
+
+/// Process-wide source of log instance ids (thread-local staging keys).
+static LOG_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Process-wide modification version; ticked under the buffer lock (the
+/// caller holds the [`BufferHead`] across [`Log::log_write`]), so snapshots
+/// of the same block are totally ordered by content age.
+static SNAPSHOT_VERSION: AtomicU64 = AtomicU64::new(1);
 
 /// Cumulative log statistics (exposed for experiments and upgrade
 /// state-transfer).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LogStats {
-    /// Number of committed transactions.
+    /// Number of committed transaction groups.
     pub commits: u64,
     /// Total blocks written through the log (logged + installed).
     pub blocks_logged: u64,
     /// Transactions recovered at mount time.
     pub recoveries: u64,
+    /// Operations absorbed into committed groups (`ops / commits` is the
+    /// group-commit batching factor).
+    pub ops_committed: u64,
+    /// Device barriers issued by commits and recovery.
+    pub barriers: u64,
+}
+
+/// Striped hot-path counters behind [`LogStats`].
+#[derive(Debug, Default)]
+struct LogCounters {
+    commits: StripedCounter,
+    blocks_logged: StripedCounter,
+    recoveries: StripedCounter,
+    ops_committed: StripedCounter,
+    barriers: StripedCounter,
+}
+
+impl LogCounters {
+    fn snapshot(&self) -> LogStats {
+        LogStats {
+            commits: self.commits.get(),
+            blocks_logged: self.blocks_logged.get(),
+            recoveries: self.recoveries.get(),
+            ops_committed: self.ops_committed.get(),
+            barriers: self.barriers.get(),
+        }
+    }
+
+    fn restore(&self, stats: LogStats) {
+        self.commits.reset(stats.commits);
+        self.blocks_logged.reset(stats.blocks_logged);
+        self.recoveries.reset(stats.recoveries);
+        self.ops_committed.reset(stats.ops_committed);
+        self.barriers.reset(stats.barriers);
+    }
+}
+
+/// Next group sequence number allowed to run its commit I/O.
+#[derive(Debug, Default)]
+struct CommitTurn {
+    next: u64,
 }
 
 /// The write-ahead log of one mounted xv6 file system.
 #[derive(Debug)]
 pub struct Log {
+    id: u64,
     start: u64,
-    size: usize,
-    inner: Mutex<LogInner>,
-    cond: Condvar,
-    stats: Mutex<LogStats>,
+    /// Blocks per region (header + data); two regions fit in `nlog`.
+    region_size: usize,
+    /// Data blocks per region — the most one group may hold.
+    capacity: usize,
+    /// Valid home-block range (`[inodestart, size)`); recovery rejects
+    /// headers naming blocks outside it, so a corrupt (or
+    /// foreign-format) header is treated as clean rather than installed
+    /// over arbitrary blocks.
+    home_range: (u64, u64),
+    inner: Mutex<FormingGroup>,
+    space_cond: Condvar,
+    outstanding: AtomicU32,
+    /// Forming-group slots spoken for: merged blocks plus a worst-case
+    /// [`MAXOPBLOCKS`] per operation still inside `begin_op`/`end_op`.
+    reserved: AtomicUsize,
+    next_seq: AtomicU64,
+    /// Commits whose I/O has finished; `next_seq > commits_done` means a
+    /// commit is in flight (or queued), so group closing is deferred to the
+    /// committer's handoff — that deferral is what lets a group *absorb*
+    /// operations while the barriers are written.
+    commits_done: AtomicU64,
+    /// Active [`Log::flush`] calls; while nonzero, `begin_op` admits no new
+    /// operations so the drain is bounded.
+    flushing: AtomicU32,
+    commit_turn: Mutex<CommitTurn>,
+    commit_cond: Condvar,
+    counters: LogCounters,
 }
 
 impl Log {
     /// Creates the in-memory log state for a file system whose on-disk
     /// superblock is `sb`.
     pub fn new(sb: &DiskSuperblock) -> Self {
+        let size = (sb.nlog as usize).min(LOGSIZE);
+        let region_size = (size / 2).max(2);
+        let capacity = (region_size - 1).min((BSIZE - LOG_HEAD_BLOCKS_OFF) / 4);
         Log {
+            id: LOG_IDS.fetch_add(1, Ordering::Relaxed),
             start: sb.logstart as u64,
-            size: (sb.nlog as usize).min(LOGSIZE),
-            inner: Mutex::new(LogInner::default()),
-            cond: Condvar::new(),
-            stats: Mutex::new(LogStats::default()),
+            region_size,
+            capacity,
+            home_range: (sb.inodestart as u64, sb.size as u64),
+            inner: Mutex::new(FormingGroup::default()),
+            space_cond: Condvar::new(),
+            outstanding: AtomicU32::new(0),
+            reserved: AtomicUsize::new(0),
+            next_seq: AtomicU64::new(0),
+            commits_done: AtomicU64::new(0),
+            flushing: AtomicU32::new(0),
+            commit_turn: Mutex::new(CommitTurn::default()),
+            commit_cond: Condvar::new(),
+            counters: LogCounters::default(),
         }
     }
 
     /// Returns cumulative statistics.
     pub fn stats(&self) -> LogStats {
-        *self.stats.lock()
+        self.counters.snapshot()
     }
 
     /// Overrides statistics (used when restoring state across an online
-    /// upgrade).
+    /// upgrade; the mount is quiescent during the swap).
     pub fn restore_stats(&self, stats: LogStats) {
-        *self.stats.lock() = stats;
+        self.counters.restore(stats);
     }
 
-    /// Begins a file-system operation that will modify at most
-    /// [`MAXOPBLOCKS`] blocks.  Blocks while the log is committing or too
-    /// full to accept another operation.
-    pub fn begin_op(&self) {
-        let mut inner = self.inner.lock();
+    /// Data blocks one commit region can hold (one group's maximum size).
+    pub fn region_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn try_reserve(&self) -> bool {
+        let mut cur = self.reserved.load(Ordering::SeqCst);
         loop {
-            let would_use = inner.blocks.len() + (inner.outstanding as usize + 1) * MAXOPBLOCKS;
-            if inner.committing || would_use > self.size - 1 {
-                self.cond.wait(&mut inner);
-            } else {
-                inner.outstanding += 1;
-                return;
+            if cur + MAXOPBLOCKS > self.capacity {
+                return false;
+            }
+            match self.reserved.compare_exchange(
+                cur,
+                cur + MAXOPBLOCKS,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
             }
         }
     }
 
-    /// Records that `blockno` was modified by the current operation.  The
-    /// caller must have modified the block through the buffer cache (so the
-    /// new contents are pinned there until commit).
+    /// Begins a file-system operation that will modify at most
+    /// [`MAXOPBLOCKS`] blocks.  Reserves that worst case from the forming
+    /// group's space via an atomic counter; it only blocks when the group
+    /// cannot fit another operation (never merely because a commit is in
+    /// flight — that is the pipelining) or while a [`Log::flush`] is
+    /// draining (so fsync cannot be starved by a steady stream of new
+    /// operations).
+    pub fn begin_op(&self) {
+        let nested = TX.with(|cell| {
+            let mut map = cell.borrow_mut();
+            let tx = map.entry(self.id).or_default();
+            tx.depth += 1;
+            tx.depth > 1
+        });
+        if nested {
+            // A nested begin_op joins the outer operation: it already holds
+            // a reservation.
+            return;
+        }
+        if self.flushing.load(Ordering::SeqCst) != 0 || !self.try_reserve() {
+            // Slow path: waiters pair with the group mutex so a release
+            // (end_op absorption, a finished commit, or a flush ending)
+            // cannot slip between the failed check and the wait.
+            let mut inner = self.inner.lock();
+            while self.flushing.load(Ordering::SeqCst) != 0 || !self.try_reserve() {
+                self.space_cond.wait(&mut inner);
+            }
+        }
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records that the block held by `buf` was modified by the current
+    /// operation, freezing a snapshot of its bytes.  Call this while still
+    /// holding the buffer (immediately after modifying it): the snapshot is
+    /// taken under the buffer lock, so it is exactly the state this
+    /// operation produced.  The staging is thread-local — no log lock is
+    /// taken.
     ///
     /// # Errors
     ///
-    /// Returns [`Errno::NoSpc`] if the transaction would exceed the log
-    /// size (indicates a missing `begin_op`/chunking bug in the caller).
-    pub fn log_write(&self, blockno: u64) -> KernelResult<()> {
-        let mut inner = self.inner.lock();
-        if inner.outstanding == 0 {
-            return Err(KernelError::with_context(
-                Errno::Inval,
-                "xv6fs: log_write outside transaction",
-            ));
-        }
-        if inner.blocks.len() >= self.size - 1 {
-            return Err(KernelError::with_context(
-                Errno::NoSpc,
-                "xv6fs: transaction too large for log",
-            ));
-        }
-        // Absorption: a block modified twice in one transaction is logged once.
-        if !inner.blocks.contains(&blockno) {
-            inner.blocks.push(blockno);
-        }
-        Ok(())
+    /// [`Errno::Inval`] outside a transaction; [`Errno::NoSpc`] if the
+    /// operation exceeds [`MAXOPBLOCKS`] distinct blocks (a chunking bug in
+    /// the caller).
+    pub fn log_write(&self, buf: &BufferHead) -> KernelResult<()> {
+        let home = buf.blockno();
+        let version = SNAPSHOT_VERSION.fetch_add(1, Ordering::SeqCst);
+        TX.with(|cell| {
+            let mut map = cell.borrow_mut();
+            let tx = match map.get_mut(&self.id) {
+                Some(tx) if tx.depth > 0 => tx,
+                _ => {
+                    return Err(KernelError::with_context(
+                        Errno::Inval,
+                        "xv6fs: log_write outside transaction",
+                    ));
+                }
+            };
+            if let Some(&i) = tx.index.get(&home) {
+                // Absorption: a block modified twice in one operation is
+                // logged once, with the newest snapshot.
+                tx.blocks[i].version = version;
+                tx.blocks[i].data.clear();
+                tx.blocks[i].data.extend_from_slice(buf.data());
+            } else {
+                if tx.blocks.len() >= MAXOPBLOCKS {
+                    return Err(KernelError::with_context(
+                        Errno::NoSpc,
+                        "xv6fs: transaction too large for log",
+                    ));
+                }
+                tx.index.insert(home, tx.blocks.len());
+                tx.blocks.push(LoggedBlock { home, version, data: buf.data().to_vec() });
+            }
+            Ok(())
+        })
     }
 
-    /// Ends the current operation.  If it was the last outstanding
-    /// operation, the accumulated transaction commits (synchronously, on
-    /// this thread).
+    /// Ends the current operation, merging its staged blocks into the
+    /// forming group.  If the group is ready (quiescent, no commit in
+    /// flight), this thread closes it and runs the commit — outside the
+    /// group mutex, so new operations keep forming the next group while
+    /// the barriers are written.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the commit.
     pub fn end_op(&self, sb: &SuperBlock) -> KernelResult<()> {
-        let to_commit: Option<Vec<u64>> = {
-            let mut inner = self.inner.lock();
-            inner.outstanding -= 1;
-            debug_assert!(!inner.committing, "commit runs with outstanding == 0");
-            if inner.outstanding == 0 && !inner.blocks.is_empty() {
-                inner.committing = true;
-                Some(std::mem::take(&mut inner.blocks))
-            } else {
-                if inner.outstanding == 0 {
-                    // Nothing to commit; wake any waiters.
-                    self.cond.notify_all();
+        let staged = TX.with(|cell| {
+            let mut map = cell.borrow_mut();
+            let tx = map.get_mut(&self.id).expect("end_op without begin_op");
+            debug_assert!(tx.depth > 0, "end_op without begin_op");
+            tx.depth -= 1;
+            if tx.depth == 0 {
+                // Keep the (empty) staging entry so the next operation on
+                // this thread reuses its index allocation; prune stale
+                // entries of long-dead log instances once in a while.
+                tx.index.clear();
+                let blocks = std::mem::take(&mut tx.blocks);
+                if map.len() > 16 {
+                    map.retain(|_, t| t.depth > 0);
                 }
+                Some(blocks)
+            } else {
                 None
             }
-        };
-        if let Some(blocks) = to_commit {
-            let result = self.commit(sb, &blocks);
+        });
+        let Some(staged) = staged else { return Ok(()) };
+
+        let to_commit = {
             let mut inner = self.inner.lock();
-            inner.committing = false;
-            self.cond.notify_all();
-            result?;
+            let did_write = !staged.is_empty();
+            let mut added = 0usize;
+            for block in staged {
+                if let Some(&i) = inner.index.get(&block.home) {
+                    if inner.blocks[i].version < block.version {
+                        inner.blocks[i] = block;
+                    }
+                } else {
+                    let slot = inner.blocks.len();
+                    inner.index.insert(block.home, slot);
+                    inner.blocks.push(block);
+                    added += 1;
+                }
+            }
+            if did_write {
+                // Read-only (or failed-before-writing) operations do not
+                // count toward the ops-per-commit batching metric.
+                inner.ops += 1;
+            }
+            // Release the unused part of this operation's worst-case
+            // reservation; merged blocks keep their slots until commit.
+            let release = MAXOPBLOCKS - added;
+            if release > 0 {
+                self.reserved.fetch_sub(release, Ordering::SeqCst);
+                self.space_cond.notify_all();
+            }
+            let remaining = self.outstanding.fetch_sub(1, Ordering::SeqCst) - 1;
+            if remaining == 0 {
+                // Wake a flush() waiting for operations to drain.
+                self.space_cond.notify_all();
+            }
+            self.take_group_if_ready(&mut inner)
+        };
+        if let Some((seq, blocks, ops)) = to_commit {
+            self.commit_group(sb, seq, blocks, ops)?;
         }
         Ok(())
     }
 
-    /// Commits `blocks`: log, barrier, install, clear, barrier.
-    fn commit(&self, sb: &SuperBlock, blocks: &[u64]) -> KernelResult<()> {
-        debug_assert!(blocks.len() < self.size);
-        // 1. Copy modified blocks from the buffer cache into the log area.
-        for (i, &home) in blocks.iter().enumerate() {
-            let src = sb.bread(home)?;
-            let mut dst = sb.bread_zeroed(self.start + 1 + i as u64)?;
-            dst.data_mut().copy_from_slice(src.data());
-            dst.write()?;
+    /// Forces everything durable-in-progress to commit (the fsync and
+    /// unmount paths): waits for outstanding operations to merge, closes
+    /// and commits the forming group, then waits out any commit another
+    /// thread still has in flight.  Must not be called from inside a
+    /// `begin_op`/`end_op` transaction (it would wait on itself).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the commit.
+    pub fn flush(&self, sb: &SuperBlock) -> KernelResult<()> {
+        // Seal admissions so the drain is bounded: begin_op blocks while a
+        // flush is in progress (jbd2 seals its transaction the same way).
+        self.flushing.fetch_add(1, Ordering::SeqCst);
+        let to_commit = {
+            let mut inner = self.inner.lock();
+            while self.outstanding.load(Ordering::SeqCst) != 0 {
+                self.space_cond.wait(&mut inner);
+            }
+            let group = self.take_group(&mut inner);
+            self.flushing.fetch_sub(1, Ordering::SeqCst);
+            self.space_cond.notify_all();
+            group
+        };
+        let result = match to_commit {
+            Some((seq, blocks, ops)) => self.commit_group(sb, seq, blocks, ops),
+            None => Ok(()),
+        };
+        // Data merged into a group another thread adopted is only durable
+        // once that commit's I/O has finished — wait it out.
+        let target = self.next_seq.load(Ordering::SeqCst);
+        let mut turn = self.commit_turn.lock();
+        while turn.next < target {
+            self.commit_cond.wait(&mut turn);
+        }
+        result
+    }
+
+    /// Closes the forming group when it is ready: quiescent (every
+    /// operation has merged — a group never commits snapshots entangled
+    /// with a still-running operation's cache modifications; jbd2 drains
+    /// handles the same way) and no commit in flight.  While a commit *is*
+    /// in flight the group keeps absorbing operations — the committer
+    /// adopts it on completion — which is where group-commit batching
+    /// comes from.
+    fn take_group_if_ready(
+        &self,
+        inner: &mut FormingGroup,
+    ) -> Option<(u64, Vec<LoggedBlock>, u64)> {
+        let quiescent = self.outstanding.load(Ordering::SeqCst) == 0;
+        let in_flight =
+            self.next_seq.load(Ordering::SeqCst) > self.commits_done.load(Ordering::SeqCst);
+        if quiescent && !in_flight {
+            self.take_group(inner)
+        } else {
+            None
+        }
+    }
+
+    /// Closes the forming group, assigning its commit sequence (and thus
+    /// its region).  The group's slots are released immediately: a closed
+    /// group owns its own on-disk region, so only the *forming* group
+    /// counts against the reservation budget — operations keep flowing
+    /// while the closed group's barriers are written.
+    fn take_group(&self, inner: &mut FormingGroup) -> Option<(u64, Vec<LoggedBlock>, u64)> {
+        if inner.blocks.is_empty() {
+            return None;
+        }
+        let blocks = std::mem::take(&mut inner.blocks);
+        inner.index.clear();
+        let ops = std::mem::take(&mut inner.ops);
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        self.reserved.fetch_sub(blocks.len(), Ordering::SeqCst);
+        // Callers hold `inner`, which is what space waiters pair with.
+        self.space_cond.notify_all();
+        Some((seq, blocks, ops))
+    }
+
+    /// Commits closed groups in formation order, then adopts the next group
+    /// if it became ready while this one was committing (the pipelined
+    /// handoff).
+    fn commit_group(
+        &self,
+        sb: &SuperBlock,
+        mut seq: u64,
+        mut blocks: Vec<LoggedBlock>,
+        mut ops: u64,
+    ) -> KernelResult<()> {
+        loop {
+            {
+                let mut turn = self.commit_turn.lock();
+                while turn.next != seq {
+                    self.commit_cond.wait(&mut turn);
+                }
+            }
+            let result = self.commit_io(sb, seq, &blocks);
+            // Advance the pipeline even if the commit I/O failed, so
+            // waiters are never stranded.  The completion count rises
+            // *before* the handoff check below, so an end_op that observed
+            // this commit in flight either sees the updated count or merges
+            // before the handoff sees the group.
+            self.commits_done.fetch_add(1, Ordering::SeqCst);
+            {
+                let mut turn = self.commit_turn.lock();
+                turn.next = seq + 1;
+                self.commit_cond.notify_all();
+            }
+            if result.is_ok() {
+                self.counters.commits.inc();
+                self.counters.blocks_logged.add(blocks.len() as u64);
+                self.counters.ops_committed.add(ops);
+            }
+            let next = {
+                let mut inner = self.inner.lock();
+                if result.is_err() {
+                    None
+                } else {
+                    self.take_group_if_ready(&mut inner)
+                }
+            };
+            match next {
+                Some((next_seq, next_blocks, next_ops)) => {
+                    seq = next_seq;
+                    blocks = next_blocks;
+                    ops = next_ops;
+                }
+                None => return result,
+            }
+        }
+    }
+
+    /// The commit I/O: copy frozen blocks to this group's region, barrier,
+    /// install, clear, barrier.
+    fn commit_io(&self, sb: &SuperBlock, seq: u64, blocks: &[LoggedBlock]) -> KernelResult<()> {
+        debug_assert!(blocks.len() <= self.capacity);
+        let head_block = self.region_head(seq);
+        // 1. Frozen copies into the region's data blocks.  Written raw:
+        // log data blocks are only ever read back by recovery (on a fresh
+        // cache), so going through the buffer cache would just evict
+        // useful blocks once per commit.
+        for (i, block) in blocks.iter().enumerate() {
+            sb.write_raw(head_block + 1 + i as u64, &block.data)?;
         }
         // 2. Commit record.
-        self.write_head(sb, blocks)?;
-        sb.sync_all()?;
-        // 3. Install to home locations (contents are current in the cache).
-        for &home in blocks {
-            let mut buf = sb.bread(home)?;
-            buf.write()?;
+        self.write_head(sb, head_block, seq, blocks)?;
+        self.barrier(sb)?;
+        // 3. Install to home locations.
+        for block in blocks {
+            let mut buf = sb.bread(block.home)?;
+            if buf.data() == block.data.as_slice() {
+                buf.write()?;
+            } else {
+                // A later operation already modified this block in the
+                // cache; its own group will log and install the newer
+                // bytes.  Write the committed snapshot straight to the
+                // device so uncommitted bytes never reach the home
+                // location.
+                drop(buf);
+                sb.write_raw(block.home, &block.data)?;
+            }
         }
         // 4. Clear the header.
-        self.write_head(sb, &[])?;
+        self.write_empty_head(sb, head_block, seq)?;
+        self.barrier(sb)
+    }
+
+    fn barrier(&self, sb: &SuperBlock) -> KernelResult<()> {
         sb.sync_all()?;
-        let mut stats = self.stats.lock();
-        stats.commits += 1;
-        stats.blocks_logged += blocks.len() as u64;
+        self.counters.barriers.inc();
         Ok(())
     }
 
-    fn write_head(&self, sb: &SuperBlock, blocks: &[u64]) -> KernelResult<()> {
-        let mut head = sb.bread(self.start)?;
+    /// Header block of the region group `seq` commits into.
+    fn region_head(&self, seq: u64) -> u64 {
+        self.start + (seq % 2) * self.region_size as u64
+    }
+
+    fn write_head(
+        &self,
+        sb: &SuperBlock,
+        head_block: u64,
+        seq: u64,
+        blocks: &[LoggedBlock],
+    ) -> KernelResult<()> {
+        let mut head = sb.bread(head_block)?;
         let data = head.data_mut();
-        put_u32(data, 0, blocks.len() as u32);
-        for (i, &b) in blocks.iter().enumerate() {
-            put_u32(data, 4 + i * 4, b as u32);
+        put_u32(data, LOG_HEAD_COUNT_OFF, blocks.len() as u32);
+        put_u64(data, LOG_HEAD_SEQ_OFF, seq);
+        for (i, block) in blocks.iter().enumerate() {
+            put_u32(data, LOG_HEAD_BLOCKS_OFF + i * 4, block.home as u32);
         }
         head.write()?;
         Ok(())
     }
 
-    /// Recovers from the on-disk log at mount time: if a committed
-    /// transaction is present, its blocks are installed and the log is
-    /// cleared.  Returns the number of blocks replayed.
+    fn write_empty_head(&self, sb: &SuperBlock, head_block: u64, seq: u64) -> KernelResult<()> {
+        let mut head = sb.bread(head_block)?;
+        let data = head.data_mut();
+        put_u32(data, LOG_HEAD_COUNT_OFF, 0);
+        put_u64(data, LOG_HEAD_SEQ_OFF, seq);
+        head.write()?;
+        Ok(())
+    }
+
+    /// Recovers from the on-disk log at mount time: committed transactions
+    /// found in either region are installed in sequence order and the
+    /// headers are cleared.  Returns the number of blocks replayed.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn recover(&self, sb: &SuperBlock) -> KernelResult<usize> {
-        let head = sb.bread(self.start)?;
-        let n = get_u32(head.data(), 0) as usize;
-        if n == 0 || n > self.size - 1 {
+        let mut committed: Vec<(u64, u64, Vec<u64>)> = Vec::new();
+        for region in 0..2u64 {
+            let head_block = self.start + region * self.region_size as u64;
+            let head = sb.bread(head_block)?;
+            let n = get_u32(head.data(), LOG_HEAD_COUNT_OFF) as usize;
+            if n == 0 || n > self.capacity {
+                continue;
+            }
+            let seq = get_u64(head.data(), LOG_HEAD_SEQ_OFF);
+            let homes: Vec<u64> =
+                (0..n).map(|i| get_u32(head.data(), LOG_HEAD_BLOCKS_OFF + i * 4) as u64).collect();
+            if homes.iter().any(|&h| h < self.home_range.0 || h >= self.home_range.1) {
+                // Not a header this format wrote (corruption, or an image
+                // from before the double-buffered layout): treating it as
+                // clean beats installing over arbitrary blocks.
+                continue;
+            }
+            committed.push((seq, head_block, homes));
+        }
+        if committed.is_empty() {
             return Ok(0);
         }
-        let mut homes = Vec::with_capacity(n);
-        for i in 0..n {
-            homes.push(get_u32(head.data(), 4 + i * 4) as u64);
+        committed.sort_by_key(|&(seq, _, _)| seq);
+        let mut replayed = 0usize;
+        for (_, head_block, homes) in &committed {
+            for (i, &home) in homes.iter().enumerate() {
+                let log_block = sb.bread(head_block + 1 + i as u64)?;
+                let mut copy = [0u8; BSIZE];
+                copy.copy_from_slice(log_block.data());
+                drop(log_block);
+                let mut dst = sb.bread(home)?;
+                dst.data_mut().copy_from_slice(&copy);
+                dst.write()?;
+            }
+            replayed += homes.len();
         }
-        drop(head);
-        for (i, &home) in homes.iter().enumerate() {
-            let log_block = sb.bread(self.start + 1 + i as u64)?;
-            let mut dst = sb.bread(home)?;
-            let mut copy = [0u8; BSIZE];
-            copy.copy_from_slice(log_block.data());
-            dst.data_mut().copy_from_slice(&copy);
-            dst.write()?;
+        // Installs become durable before any header is cleared, so a crash
+        // during recovery re-runs it rather than losing a transaction.
+        self.barrier(sb)?;
+        for &(seq, head_block, _) in &committed {
+            self.write_empty_head(sb, head_block, seq)?;
         }
-        self.write_head(sb, &[])?;
-        sb.sync_all()?;
-        let mut stats = self.stats.lock();
-        stats.recoveries += 1;
-        stats.blocks_logged += n as u64;
-        Ok(n)
+        self.barrier(sb)?;
+        self.counters.recoveries.inc();
+        self.counters.blocks_logged.add(replayed as u64);
+        Ok(replayed)
     }
 
     /// Maximum number of data blocks a single operation may safely modify
@@ -248,29 +674,32 @@ mod tests {
     use simkernel::dev::RamDisk;
     use std::sync::Arc;
 
-    fn setup() -> (SuperBlock, Log) {
-        let dev = Arc::new(RamDisk::new(BSIZE as u32, 1024));
-        let sb =
-            bento::userspace::userspace_superblock(Arc::new(KernelBlockIo::new(dev, 512)), "test");
-        let dsb = DiskSuperblock {
+    fn test_dsb(size: u32) -> DiskSuperblock {
+        DiskSuperblock {
             magic: crate::layout::FSMAGIC,
-            size: 1024,
+            size,
             nblocks: 700,
             ninodes: 128,
             nlog: LOGSIZE as u32,
             logstart: 2,
             inodestart: 2 + LOGSIZE as u32,
             bmapstart: 2 + LOGSIZE as u32 + 4,
-        };
-        (sb, Log::new(&dsb))
+        }
+    }
+
+    fn setup() -> (SuperBlock, Log) {
+        let dev = Arc::new(RamDisk::new(BSIZE as u32, 1024));
+        let sb =
+            bento::userspace::userspace_superblock(Arc::new(KernelBlockIo::new(dev, 512)), "test");
+        (sb, Log::new(&test_dsb(1024)))
     }
 
     fn write_block_via_log(sb: &SuperBlock, log: &Log, blockno: u64, fill: u8) {
         log.begin_op();
         let mut buf = sb.bread(blockno).unwrap();
         buf.data_mut().fill(fill);
+        log.log_write(&buf).unwrap();
         drop(buf);
-        log.log_write(blockno).unwrap();
         log.end_op(sb).unwrap();
     }
 
@@ -284,6 +713,28 @@ mod tests {
         let stats = log.stats();
         assert_eq!(stats.commits, 2);
         assert_eq!(stats.blocks_logged, 2);
+        assert_eq!(stats.ops_committed, 2);
+        assert_eq!(stats.barriers, 4, "two barriers per commit");
+    }
+
+    #[test]
+    fn consecutive_commits_alternate_log_regions() {
+        let (sb, log) = setup();
+        write_block_via_log(&sb, &log, 600, 0x11);
+        write_block_via_log(&sb, &log, 601, 0x22);
+        // Region 0 logged block 600, region 1 logged block 601; both
+        // headers are cleared and record their commit sequence.
+        let half = (LOGSIZE / 2) as u64;
+        let head0 = sb.bread(2).unwrap();
+        assert_eq!(get_u32(head0.data(), LOG_HEAD_COUNT_OFF), 0);
+        assert_eq!(get_u64(head0.data(), LOG_HEAD_SEQ_OFF), 0);
+        drop(head0);
+        let head1 = sb.bread(2 + half).unwrap();
+        assert_eq!(get_u32(head1.data(), LOG_HEAD_COUNT_OFF), 0);
+        assert_eq!(get_u64(head1.data(), LOG_HEAD_SEQ_OFF), 1);
+        drop(head1);
+        assert_eq!(sb.bread(2 + 1).unwrap().data()[0], 0x11);
+        assert_eq!(sb.bread(2 + half + 1).unwrap().data()[0], 0x22);
     }
 
     #[test]
@@ -293,8 +744,7 @@ mod tests {
         for fill in [1u8, 2, 3] {
             let mut buf = sb.bread(700).unwrap();
             buf.data_mut().fill(fill);
-            drop(buf);
-            log.log_write(700).unwrap();
+            log.log_write(&buf).unwrap();
         }
         log.end_op(&sb).unwrap();
         assert_eq!(log.stats().blocks_logged, 1);
@@ -303,8 +753,9 @@ mod tests {
 
     #[test]
     fn log_write_outside_transaction_is_rejected() {
-        let (_sb, log) = setup();
-        assert_eq!(log.log_write(5).unwrap_err().errno(), Errno::Inval);
+        let (sb, log) = setup();
+        let buf = sb.bread(5).unwrap();
+        assert_eq!(log.log_write(&buf).unwrap_err().errno(), Errno::Inval);
     }
 
     #[test]
@@ -315,29 +766,19 @@ mod tests {
             Arc::new(KernelBlockIo::new(dev, 1024)),
             "test",
         ));
-        let dsb = DiskSuperblock {
-            magic: crate::layout::FSMAGIC,
-            size: 2048,
-            nblocks: 1500,
-            ninodes: 128,
-            nlog: LOGSIZE as u32,
-            logstart: 2,
-            inodestart: 2 + LOGSIZE as u32,
-            bmapstart: 2 + LOGSIZE as u32 + 4,
-        };
-        let log = Arc::new(Log::new(&dsb));
+        let log = Arc::new(Log::new(&test_dsb(2048)));
         let mut handles = Vec::new();
         for t in 0..8u64 {
             let log = Arc::clone(&log);
             let sb = Arc::clone(&sb);
             handles.push(thread::spawn(move || {
                 for i in 0..20u64 {
-                    let blockno = 1000 + t * 20 + i;
+                    let blockno = 1200 + t * 20 + i;
                     log.begin_op();
                     let mut buf = sb.bread(blockno).unwrap();
                     buf.data_mut().fill((t + 1) as u8);
+                    log.log_write(&buf).unwrap();
                     drop(buf);
-                    log.log_write(blockno).unwrap();
                     log.end_op(&sb).unwrap();
                 }
             }));
@@ -348,46 +789,115 @@ mod tests {
         // Every block made it to its home location.
         for t in 0..8u64 {
             for i in 0..20u64 {
-                assert_eq!(sb.bread(1000 + t * 20 + i).unwrap().data()[0], (t + 1) as u8);
+                assert_eq!(sb.bread(1200 + t * 20 + i).unwrap().data()[0], (t + 1) as u8);
             }
         }
         // Group commit means commits <= operations.
-        assert!(log.stats().commits <= 160);
-        assert_eq!(log.stats().blocks_logged, 160);
+        let stats = log.stats();
+        assert!(stats.commits <= 160);
+        assert_eq!(stats.blocks_logged, 160);
+        assert_eq!(stats.ops_committed, 160);
+        assert_eq!(stats.barriers, stats.commits * 2);
     }
 
     #[test]
-    fn recover_replays_committed_transaction() {
-        let (sb, log) = setup();
-        // Simulate a crash after the commit record was written but before
-        // install: write the log area and header by hand.
-        let target: u64 = 800;
-        log.begin_op();
+    fn snapshot_versions_keep_newest_content_on_merge() {
+        // Two operations in one group modify the same block, and the
+        // *older* snapshot merges last (the out-of-order case): the
+        // committed bytes must still be the newest snapshot.
+        let dev = Arc::new(RamDisk::new(BSIZE as u32, 1024));
+        let sb = Arc::new(bento::userspace::userspace_superblock(
+            Arc::new(KernelBlockIo::new(dev, 512)),
+            "test",
+        ));
+        let log = Arc::new(Log::new(&test_dsb(1024)));
+        log.begin_op(); // op A holds the group open
         {
-            // Prepare the new content in the log area only.
-            let mut log_data = sb.bread_zeroed(2 + 1).unwrap();
-            log_data.data_mut().fill(0x5E);
+            let mut buf = sb.bread(800).unwrap();
+            buf.data_mut().fill(0x01);
+            log.log_write(&buf).unwrap(); // older snapshot
+        }
+        {
+            // Op B on another thread modifies the same block afterwards and
+            // merges first (op A is still outstanding, so no commit yet).
+            let log = Arc::clone(&log);
+            let sb = Arc::clone(&sb);
+            std::thread::spawn(move || {
+                log.begin_op();
+                let mut buf = sb.bread(800).unwrap();
+                buf.data_mut().fill(0x02);
+                log.log_write(&buf).unwrap();
+                drop(buf);
+                log.end_op(&sb).unwrap();
+            })
+            .join()
+            .unwrap();
+        }
+        // Op A merges its older snapshot last, closes the group, commits.
+        log.end_op(&sb).unwrap();
+        assert_eq!(sb.bread(800).unwrap().data()[0], 0x02, "newest snapshot must win");
+        let stats = log.stats();
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.blocks_logged, 1, "absorbed across ops in one group");
+        assert_eq!(stats.ops_committed, 2);
+    }
+
+    #[test]
+    fn recover_replays_committed_transaction_from_either_region() {
+        for region in 0..2u64 {
+            let (sb, log) = setup();
+            let half = (LOGSIZE / 2) as u64;
+            let head_block = 2 + region * half;
+            let seq = region; // region = seq % 2
+            let target: u64 = 800;
+            // Simulate a crash after the commit record was written but
+            // before install: write the log area and header by hand.
+            {
+                let mut log_data = sb.bread_zeroed(head_block + 1).unwrap();
+                log_data.data_mut().fill(0x5E);
+                log_data.write().unwrap();
+                let mut head = sb.bread(head_block).unwrap();
+                put_u32(head.data_mut(), LOG_HEAD_COUNT_OFF, 1);
+                put_u64(head.data_mut(), LOG_HEAD_SEQ_OFF, seq);
+                put_u32(head.data_mut(), LOG_HEAD_BLOCKS_OFF, target as u32);
+                head.write().unwrap();
+            }
+            drop(log);
+            // Home block still has old (zero) contents; "crash" and recover.
+            let log2 = Log::new(&test_dsb(1024));
+            let replayed = log2.recover(&sb).unwrap();
+            assert_eq!(replayed, 1, "region {region}");
+            assert_eq!(sb.bread(target).unwrap().data()[0], 0x5E, "region {region}");
+            // Header is cleared: a second recovery is a no-op.
+            assert_eq!(log2.recover(&sb).unwrap(), 0, "region {region}");
+        }
+    }
+
+    #[test]
+    fn recover_replays_both_regions_in_sequence_order() {
+        let (sb, log) = setup();
+        let half = (LOGSIZE / 2) as u64;
+        let target: u64 = 810;
+        // Both regions hold a committed transaction for the same home
+        // block: region 1 carries seq 1 (newer), region 0 carries seq 2
+        // (newest).  Recovery must install in sequence order so the seq-2
+        // bytes win.
+        for (region, seq, fill) in [(1u64, 1u64, 0xAAu8), (0, 2, 0xBB)] {
+            let head_block = 2 + region * half;
+            let mut log_data = sb.bread_zeroed(head_block + 1).unwrap();
+            log_data.data_mut().fill(fill);
             log_data.write().unwrap();
-            let mut head = sb.bread(2).unwrap();
-            put_u32(head.data_mut(), 0, 1);
-            put_u32(head.data_mut(), 4, target as u32);
+            drop(log_data);
+            let mut head = sb.bread(head_block).unwrap();
+            put_u32(head.data_mut(), LOG_HEAD_COUNT_OFF, 1);
+            put_u64(head.data_mut(), LOG_HEAD_SEQ_OFF, seq);
+            put_u32(head.data_mut(), LOG_HEAD_BLOCKS_OFF, target as u32);
             head.write().unwrap();
         }
-        // Home block still has old (zero) contents; "crash" and recover.
-        let log2 = Log::new(&DiskSuperblock {
-            magic: crate::layout::FSMAGIC,
-            size: 1024,
-            nblocks: 700,
-            ninodes: 128,
-            nlog: LOGSIZE as u32,
-            logstart: 2,
-            inodestart: 2 + LOGSIZE as u32,
-            bmapstart: 2 + LOGSIZE as u32 + 4,
-        });
-        let replayed = log2.recover(&sb).unwrap();
-        assert_eq!(replayed, 1);
-        assert_eq!(sb.bread(target).unwrap().data()[0], 0x5E);
-        // Header is cleared: a second recovery is a no-op.
+        drop(log);
+        let log2 = Log::new(&test_dsb(1024));
+        assert_eq!(log2.recover(&sb).unwrap(), 2);
+        assert_eq!(sb.bread(target).unwrap().data()[0], 0xBB);
         assert_eq!(log2.recover(&sb).unwrap(), 0);
     }
 }
