@@ -9,8 +9,8 @@
 use std::collections::BTreeSet;
 
 use bench::{
-    fig2_read_4k, fig3_read_throughput, fig4_write_throughput, print_rows, rows_to_json,
-    scaling_experiment, scaling_experiment_with_threads, table1_bug_analysis,
+    crash_experiment, fig2_read_4k, fig3_read_throughput, fig4_write_throughput, print_rows,
+    rows_to_json, scaling_experiment, scaling_experiment_with_threads, table1_bug_analysis,
     table2_mechanism_comparison, table4_create, table5_delete, table6_macrobenchmarks,
     ExperimentConfig, Row, SCALING_SMOKE_THREADS,
 };
@@ -25,11 +25,13 @@ fn main() {
         .cloned()
         .collect();
     if selected.is_empty() || selected.contains("all") {
-        selected =
-            ["table1", "table2", "fig2", "fig3", "fig4", "table4", "table5", "table6", "scaling"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        selected = [
+            "table1", "table2", "fig2", "fig3", "fig4", "table4", "table5", "table6", "scaling",
+            "crash",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::full() };
     println!(
@@ -133,6 +135,18 @@ fn main() {
             "scaling",
             scaling_experiment(&cfg),
             "Scaling: 1-32 threads, zero-cost device, disjoint files (ops/sec + write-path batching)",
+        );
+    }
+    if selected.contains("crash") {
+        // Crash-consistency: enumerate crash states of a seeded 200-op
+        // trace on every stack; any fsck or fsync-durability violation
+        // fails the experiment (and thus CI's crash-smoke gate).
+        run(
+            &mut all_rows,
+            &mut failures,
+            "crash",
+            crash_experiment(&cfg),
+            "Crash: seeded crash-state enumeration, fsck + durability oracles",
         );
     }
     if selected.contains("scaling-smoke") {

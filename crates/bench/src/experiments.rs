@@ -437,9 +437,9 @@ fn write_path_delta(before: &WritePathStats, after: &WritePathStats) -> WritePat
 /// spread).  A second pass re-runs create at [`SCALING_SMOKE_THREADS`]
 /// with the NVMe cost model (`create-nvme-Nt*` rows) — with real barrier
 /// costs, group commit must drive barriers-per-op *down* as threads go up —
-/// and sweeps the `alloc_groups` mount option on the Bento stack
-/// (`create-8t-gN` rows).  This is what BENCH_*.json tracks as write-path
-/// batching, not just ops/s.
+/// and sweeps the `alloc_groups` and `fd_shards` mount options on the
+/// Bento stack (`create-8t-gN` / `create-8t-fdsN` rows).  This is what
+/// BENCH_*.json tracks as write-path batching, not just ops/s.
 ///
 /// # Errors
 ///
@@ -584,6 +584,76 @@ pub fn scaling_experiment_with_threads(
         ));
         mounted.unmount()?;
     }
+    // fd-table shard sweep (`fd_shards` mount knob → `VfsConfig::shard_count`
+    // per mount): 1 shard == the old globally locked fd table.  create is
+    // open/close heavy, so it exercises the fd table on every operation.
+    for shards in [1usize, 16] {
+        let options = MountOptions {
+            options: vec![("fd_shards".into(), shards.to_string())],
+            read_only: false,
+        };
+        let mounted =
+            mount_stack_with(FsStack::BentoXv6, CostModel::zero(), cfg.disk_blocks, &options)?;
+        let create = create_micro(&mounted.vfs, 4096, 8, cfg.duration)?;
+        rows.push(Row::new(
+            "scaling",
+            &format!("create-8t-fds{shards}"),
+            FsStack::BentoXv6.label(),
+            create.ops_per_sec(),
+            "ops/sec",
+            None,
+        ));
+        mounted.unmount()?;
+    }
+    Ok(rows)
+}
+
+/// The `crash` experiment: runs the crashsim harness (see the `crashsim`
+/// crate) for each crash-tested stack and reports checked/found counts
+/// into the BENCH JSON.  Any oracle violation fails the experiment — CI's
+/// `crash-smoke` step gates on that.
+///
+/// # Errors
+///
+/// Returns an error when a stack reports oracle violations (with the first
+/// few replayable state descriptions in the message) or on harness I/O
+/// failure.
+pub fn crash_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
+    use crashsim::{run_crash_test, CrashMode, CrashStack, CrashTestConfig};
+    let quick = cfg.threads_high < 32;
+    let crash_cfg = CrashTestConfig {
+        seed: 0x2021_FA57,
+        ops: 200,
+        disk_blocks: 8192,
+        mode: CrashMode::Sampled { states: if quick { 160 } else { 400 } },
+        max_violations: 8,
+    };
+    let mut rows = Vec::new();
+    for stack in CrashStack::all() {
+        let report = run_crash_test(stack, &crash_cfg)?;
+        for (config, value) in [
+            ("states-checked", report.states_checked as f64),
+            ("violations", report.violations_found as f64),
+            ("fsync-points", report.fsync_points as f64),
+            ("trace-writes", report.trace_writes as f64),
+            ("trace-epochs", report.trace_epochs as f64),
+        ] {
+            rows.push(Row::new("crash", config, report.stack, value, "count", None));
+        }
+        if !report.is_clean() {
+            eprintln!(
+                "crash oracle violations on {}: {} found across {} states",
+                report.stack, report.violations_found, report.states_checked
+            );
+            for violation in &report.violations {
+                eprintln!("  [{}] {}", violation.state, violation.detail);
+            }
+            return Err(simkernel::error::KernelError::with_context(
+                simkernel::error::Errno::Io,
+                "crash oracle violations found (details on stderr)",
+            ));
+        }
+    }
     Ok(rows)
 }
 
@@ -657,6 +727,32 @@ mod tests {
                 "missing alloc-group sweep row g{groups}"
             );
         }
+        // ...and so do the fd-shard sweep rows.
+        for shards in [1, 16] {
+            assert!(
+                rows.iter()
+                    .any(|r| r.stack == "Bento" && r.config == format!("create-8t-fds{shards}")),
+                "missing fd-shard sweep row fds{shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_experiment_reports_clean_counts_for_every_stack() {
+        let cfg = ExperimentConfig::quick();
+        let rows = crash_experiment(&cfg).expect("crash experiment must be violation-free");
+        for stack in ["Bento", "C-Kernel", "Ext4"] {
+            let get = |config: &str| {
+                rows.iter()
+                    .find(|r| r.stack == stack && r.config == config)
+                    .unwrap_or_else(|| panic!("missing crash row {stack}/{config}"))
+                    .value
+            };
+            assert!(get("states-checked") > 0.0);
+            assert_eq!(get("violations"), 0.0, "{stack} must recover cleanly");
+            assert!(get("fsync-points") > 0.0);
+            assert!(get("trace-writes") > 0.0);
+        }
     }
 
     #[test]
@@ -664,7 +760,8 @@ mod tests {
         // The acceptance bar for the pipelined group-commit log: with real
         // barrier costs, 8 concurrent creators must share commits, issuing
         // at most half the device barriers per operation of a lone creator
-        // (which pays 2 barriers for every op).
+        // (which pays 3 barriers for every op: payload, commit record,
+        // install — the crash-safe ordering the crashsim harness enforces).
         let cfg = ExperimentConfig {
             duration: Duration::from_millis(200),
             disk_blocks: 48 * 1024,
@@ -682,7 +779,7 @@ mod tests {
         };
         let single = barriers_per_op(1);
         let grouped = barriers_per_op(8);
-        assert!(single > 1.5, "a lone creator pays ~2 barriers per op, got {single}");
+        assert!(single > 2.0, "a lone creator pays ~3 barriers per op, got {single}");
         assert!(
             grouped * 2.0 <= single,
             "8-thread create must batch ≥2×: {grouped} vs {single} barriers/op"

@@ -144,8 +144,12 @@ impl BentoFs {
     /// implementation is left in place and the error is returned.
     pub fn upgrade(&self, new_fs: Box<dyn FileSystem>) -> KernelResult<UpgradeReport> {
         let req = Request::kernel();
+        // The application-visible pause: waiting out in-flight operations
+        // (acquiring the write lock) plus the state transfer itself, ending
+        // when the new instance is installed.
+        let pause_started = std::time::Instant::now();
         let mut guard = self.fs.write();
-        let report = match guard.extract_state(&req, &self.sb) {
+        let mut report = match guard.extract_state(&req, &self.sb) {
             Ok(state) => {
                 let entries = state.len();
                 new_fs.restore_state(&req, &self.sb, state)?;
@@ -153,6 +157,7 @@ impl BentoFs {
                     generation: self.generation.load(Ordering::Relaxed) + 1,
                     transferred_entries: entries,
                     state_transfer: true,
+                    pause_ns: 0,
                 }
             }
             Err(e) if e.errno() == Errno::NoSys => {
@@ -162,12 +167,14 @@ impl BentoFs {
                     generation: self.generation.load(Ordering::Relaxed) + 1,
                     transferred_entries: 0,
                     state_transfer: false,
+                    pause_ns: 0,
                 }
             }
             Err(e) => return Err(e),
         };
         *guard = new_fs;
         self.generation.fetch_add(1, Ordering::Relaxed);
+        report.pause_ns = pause_started.elapsed().as_nanos() as u64;
         Ok(report)
     }
 
@@ -779,7 +786,19 @@ mod tests {
             }
         });
         for _ in 0..5 {
-            fs.upgrade(Box::new(TestFs::with_version(3))).unwrap();
+            let report = fs.upgrade(Box::new(TestFs::with_version(3))).unwrap();
+            // The paper's §4.8 headline: upgrading under load pauses
+            // applications for milliseconds, not an unmount window.  The
+            // pause here is draining in-flight operations plus the state
+            // transfer; a generous 1 s bound catches regressions (e.g. an
+            // upgrade path that starts blocking on the whole workload)
+            // without flaking on slow CI machines.
+            assert!(report.pause_ns > 0, "pause must be measured");
+            assert!(
+                report.pause_ns < 1_000_000_000,
+                "upgrade paused {} ms under load",
+                report.pause_ns / 1_000_000
+            );
         }
         writer.join().unwrap();
         assert_eq!(fs.generation(), 5);

@@ -8,7 +8,7 @@
 //! types with the identical method surface.
 //!
 //! The two faces are kept from silently diverging by the compile-time
-//! parity checks in [`crate::sync_parity`]: any method-surface drift
+//! parity checks in the crate-private `sync_parity` module: any method-surface drift
 //! between `bento::kernel` and `bento::userspace` sync types is a build
 //! error, not a latent port hazard.
 

@@ -8,7 +8,7 @@
 //! * **BentoFS** ([`bentofs`]) sits between the kernel's VFS layer and the
 //!   file system.  It translates VFS calls into the [file operations
 //!   API](fileops) — a Rust rendering of the FUSE low-level interface,
-//!   augmented with a reference to the [`SuperBlock`](bentoks::SuperBlock)
+//!   augmented with a reference to the [`SuperBlock`]
 //!   capability needed for block I/O (paper §4.3).  Because BentoFS inherits
 //!   the FUSE kernel module's writeback path, it batches dirty pages into
 //!   single large writes (`writepages`), which is where its small performance
@@ -24,7 +24,7 @@
 //! * **Online upgrade** (§4.8, [`upgrade`] + [`bentofs::BentoFs::upgrade`]):
 //!   a running file system can be replaced by a new implementation without
 //!   unmounting; in-memory state is carried across through a
-//!   [`StateBundle`](upgrade::StateBundle).
+//!   [`StateBundle`].
 //! * **Userspace debugging** (§4.9, [`userspace`]): the same file system code
 //!   runs against userspace implementations of the same APIs (used by the
 //!   FUSE baseline and by `examples/userspace_debug.rs`).
@@ -34,9 +34,9 @@
 //! The interface follows the paper's "ownership model" (§4.4): ownership of
 //! objects never crosses the interface; the caller lends references for the
 //! duration of a call.  Concretely, every file-operations method borrows the
-//! [`Request`](fileops::Request) context and the
-//! [`SuperBlock`](bentoks::SuperBlock), and block buffers are only reachable
-//! through the [`BufferHead`](bentoks::BufferHead) guard, whose drop releases
+//! [`Request`] context and the
+//! [`SuperBlock`], and block buffers are only reachable
+//! through the [`BufferHead`] guard, whose drop releases
 //! the buffer (`brelse`).
 //!
 //! ## Example

@@ -116,8 +116,16 @@ impl StateBundle {
 
     /// Serializes the whole bundle (e.g. to persist it across a crash during
     /// upgrade).
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(&self.entries).unwrap_or_else(|_| "{}".to_string())
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Inval`] if serialization fails — silently returning
+    /// an empty bundle here would make a later restore quietly lose every
+    /// transferred entry.
+    pub fn to_json(&self) -> KernelResult<String> {
+        serde_json::to_string(&self.entries).map_err(|_| {
+            KernelError::with_context(Errno::Inval, "state bundle: serialization failed")
+        })
     }
 
     /// Reconstructs a bundle from [`StateBundle::to_json`] output.
@@ -144,6 +152,12 @@ pub struct UpgradeReport {
     /// Whether the state-transfer path was used (`extract_state` /
     /// `restore_state`), as opposed to the sync-and-reinit fallback.
     pub state_transfer: bool,
+    /// How long applications were paused: the time the upgrade held the
+    /// file system exclusively, from requesting the write lock (waiting
+    /// out in-flight operations) to installing the new instance.  The
+    /// paper's §4.8 headline is that this is milliseconds, not an
+    /// unmount/remount window.
+    pub pause_ns: u64,
 }
 
 #[cfg(test)]
@@ -183,10 +197,11 @@ mod tests {
         let mut b = StateBundle::new();
         b.put("a", &1u8).unwrap();
         b.put("b", &vec![1u64, 2, 3]).unwrap();
-        let json = b.to_json();
+        let json = b.to_json().unwrap();
         let b2 = StateBundle::from_json(&json).unwrap();
         assert_eq!(b, b2);
         assert!(StateBundle::from_json("not json").is_err());
+        assert_eq!(StateBundle::new().to_json().unwrap(), "{}");
     }
 
     #[test]

@@ -177,7 +177,7 @@ pub fn userspace_superblock(io: Arc<dyn BlockIo>, name: &str) -> SuperBlock {
 ///
 /// The paper's userspace environment re-implements kernel APIs over libc /
 /// std equivalents so that file-system code compiles against either face;
-/// [`crate::sync_parity`] asserts at compile time that this type and the
+/// the crate-private `sync_parity` module asserts at compile time that this type and the
 /// kernel type cannot drift apart.
 #[derive(Debug)]
 pub struct Semaphore {

@@ -1,0 +1,46 @@
+//! Proof that the checker has teeth: a deliberately planted ordering bug —
+//! the log's commit record written (and made durable) *ahead of* its
+//! payload epoch — must be caught by the oracles.
+//!
+//! With the record-first ordering, a crash between the record barrier and
+//! the payload writes leaves a valid, checksummed commit record naming
+//! blocks whose log-region copies are stale (a previous group's bytes, or
+//! mkfs zeros).  Recovery then installs that stale data over live
+//! metadata, which the fsck and durability oracles must flag.
+//!
+//! This test lives in its own integration-test binary because the hook is
+//! process-global.
+
+use std::sync::atomic::Ordering;
+
+use crashsim::{run_crash_test, CrashMode, CrashStack, CrashTestConfig};
+use xv6fs::log::TEST_UNSAFE_EARLY_COMMIT_RECORD;
+
+#[test]
+fn early_commit_record_ordering_bug_is_caught() {
+    let cfg = CrashTestConfig {
+        seed: 0xBAD_C0DE,
+        ops: 40,
+        disk_blocks: 4096,
+        mode: CrashMode::Prefixes,
+        max_violations: 8,
+    };
+    // Sanity: with the correct ordering the same run is clean.
+    let clean = run_crash_test(CrashStack::BentoXv6, &cfg).unwrap();
+    assert!(
+        clean.is_clean(),
+        "correct ordering must pass: {:#?}",
+        clean.violations.iter().take(3).collect::<Vec<_>>()
+    );
+
+    TEST_UNSAFE_EARLY_COMMIT_RECORD.store(true, Ordering::SeqCst);
+    let report = run_crash_test(CrashStack::BentoXv6, &cfg);
+    TEST_UNSAFE_EARLY_COMMIT_RECORD.store(false, Ordering::SeqCst);
+
+    let report = report.unwrap();
+    assert!(
+        report.violations_found > 0,
+        "the planted record-before-payload bug went undetected across {} crash states",
+        report.states_checked
+    );
+}

@@ -1,0 +1,74 @@
+//! Acceptance tests: crash enumeration over a seeded 200-op randomized
+//! trace reports zero oracle violations (fsck clean + fsync durability) on
+//! all three crash-tested stacks.
+
+use crashsim::{run_crash_test, CrashMode, CrashStack, CrashTestConfig};
+
+fn assert_clean(stack: CrashStack, cfg: &CrashTestConfig) {
+    let report = run_crash_test(stack, cfg).unwrap_or_else(|e| panic!("{stack:?}: {e}"));
+    assert_eq!(report.ops_run, cfg.ops);
+    assert!(report.fsync_points > 0, "{stack:?}: workload must hit durability points");
+    assert!(report.trace_writes > 0 && report.trace_epochs > 1, "{stack:?}: trace too small");
+    assert!(report.states_checked > 0);
+    assert!(
+        report.is_clean(),
+        "{stack:?}: {} violations, e.g. {:#?}",
+        report.violations_found,
+        report.violations.iter().take(5).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn bento_xv6_survives_sampled_crash_states_over_200_ops() {
+    assert_clean(CrashStack::BentoXv6, &CrashTestConfig::standard(0xB3_2021));
+}
+
+#[test]
+fn vfs_xv6_survives_sampled_crash_states_over_200_ops() {
+    assert_clean(CrashStack::VfsXv6, &CrashTestConfig::standard(0xC6_2021));
+}
+
+#[test]
+fn ext4sim_survives_sampled_crash_states_over_200_ops() {
+    assert_clean(CrashStack::Ext4, &CrashTestConfig::standard(0xE4_2021));
+}
+
+#[test]
+fn exhaustive_prefix_enumeration_is_clean_on_a_short_trace() {
+    // Every in-order write-stream prefix of a smaller workload, on the
+    // stack with the most complex commit pipeline.
+    let cfg = CrashTestConfig {
+        seed: 0x9E37,
+        ops: 30,
+        disk_blocks: 4096,
+        mode: CrashMode::Prefixes,
+        max_violations: 16,
+    };
+    let report = run_crash_test(CrashStack::BentoXv6, &cfg).unwrap();
+    assert!(report.states_checked > report.trace_writes, "one state per event boundary");
+    assert!(
+        report.is_clean(),
+        "{} violations, e.g. {:#?}",
+        report.violations_found,
+        report.violations.iter().take(5).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn different_seeds_produce_different_traces_but_stay_clean() {
+    for seed in [1u64, 2, 3] {
+        let cfg = CrashTestConfig {
+            ops: 60,
+            mode: CrashMode::Sampled { states: 48 },
+            ..CrashTestConfig::standard(seed)
+        };
+        for stack in CrashStack::all() {
+            let report = run_crash_test(stack, &cfg).unwrap();
+            assert!(
+                report.is_clean(),
+                "{stack:?} seed {seed}: {:#?}",
+                report.violations.iter().take(3).collect::<Vec<_>>()
+            );
+        }
+    }
+}

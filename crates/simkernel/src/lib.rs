@@ -34,6 +34,8 @@
 //!   table, so the paper's 32-thread workloads do not serialize on global
 //!   map locks.
 //! * [`sync`] — kernel-flavoured synchronization wrappers.
+//! * [`hash`] — dependency-free FNV-1a checksums used by on-disk records
+//!   that must survive torn writes (log commit records, checkpoints).
 //!
 //! The crate is intentionally free of `unsafe` code.
 //!
@@ -58,6 +60,7 @@ pub mod buffer;
 pub mod cost;
 pub mod dev;
 pub mod error;
+pub mod hash;
 pub mod memfs;
 pub mod pagecache;
 pub mod shard;

@@ -14,7 +14,7 @@
 //! * the file-system-facing traits ([`VfsFs`] — the operations a mounted
 //!   file system provides, and [`FilesystemType`] — the mountable type
 //!   registered with the kernel), and
-//! * [`Vfs`](core::Vfs) in [`core`] — the kernel-side implementation of
+//! * [`Vfs`] in [`core`] — the kernel-side implementation of
 //!   registration, mounting, path resolution, file descriptors, the page
 //!   cache, and the POSIX-flavoured syscalls the workloads use.
 //!

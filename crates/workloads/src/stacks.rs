@@ -94,8 +94,11 @@ pub fn mount_stack(
 }
 
 /// Like [`mount_stack`] with explicit mount options, so experiments can
-/// sweep per-mount knobs (`alloc_groups`, `cache_shards`) the way `-o`
-/// options would.
+/// sweep per-mount knobs the way `-o` options would: `alloc_groups` and
+/// `cache_shards` reach the file system, and `fd_shards` sets the VFS
+/// [`VfsConfig::shard_count`] (fd table / page cache sharding) for this
+/// mount's kernel instance — closing the loop on the construction-time-only
+/// knob the ROADMAP called out.
 ///
 /// # Errors
 ///
@@ -108,7 +111,9 @@ pub fn mount_stack_with(
 ) -> KernelResult<MountedStack> {
     let device = Arc::new(SsdDevice::ram_backed(disk_blocks, model.clone()));
     let device_dyn: Arc<dyn BlockDevice> = Arc::clone(&device) as Arc<dyn BlockDevice>;
-    let vfs = Arc::new(Vfs::new(VfsConfig::default()));
+    let fd_shards =
+        options.get("fd_shards").and_then(|v| v.parse::<usize>().ok()).unwrap_or_default();
+    let vfs = Arc::new(Vfs::new(VfsConfig { shard_count: fd_shards, ..VfsConfig::default() }));
     match stack {
         FsStack::BentoXv6 => {
             xv6fs::mkfs::mkfs_on_device(&device_dyn, 8192)?;
@@ -151,6 +156,21 @@ mod tests {
             vfs.close(fd).unwrap();
             assert_eq!(vfs.stat("/d/file").unwrap().size, 16, "stack {stack:?}");
             mounted.unmount().unwrap_or_else(|e| panic!("unmount {stack:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn fd_shards_mount_option_reaches_the_vfs() {
+        for shards in ["1", "16"] {
+            let options = MountOptions::default().with_option("fd_shards", shards);
+            let mounted =
+                mount_stack_with(FsStack::BentoXv6, CostModel::zero(), 16_384, &options).unwrap();
+            let fd =
+                mounted.vfs.open("/fdshard-smoke", OpenFlags::RDWR.with(OpenFlags::CREAT)).unwrap();
+            mounted.vfs.write(fd, b"knob").unwrap();
+            mounted.vfs.close(fd).unwrap();
+            assert_eq!(mounted.vfs.stat("/fdshard-smoke").unwrap().size, 4);
+            mounted.unmount().unwrap();
         }
     }
 

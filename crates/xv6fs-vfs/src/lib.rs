@@ -348,6 +348,42 @@ impl Xv6VfsFilesystem {
         Ok(Some(fresh))
     }
 
+    /// Clears the pointer that maps file block `bn` after its data block
+    /// was freed.  Without this, the on-disk inode keeps referencing a
+    /// freed (and soon reallocated) block — a cross-file corruption the
+    /// crash harness caught in the truncate path.
+    fn clear_mapping(&self, data: &mut InodeData, bn: u64) -> KernelResult<()> {
+        let bn = bn as usize;
+        if bn < NDIRECT {
+            data.addrs[bn] = 0;
+            return Ok(());
+        }
+        let bn = bn - NDIRECT;
+        if bn < NINDIRECT {
+            if data.addrs[NDIRECT] != 0 {
+                self.clear_indirect_slot(data.addrs[NDIRECT] as u64, bn)?;
+            }
+            return Ok(());
+        }
+        let bn = bn - NINDIRECT;
+        if data.addrs[NDIRECT + 1] != 0 {
+            let l1_block = {
+                let block = self.cache.bread(data.addrs[NDIRECT + 1] as u64)?;
+                get_u32(block.data(), (bn / NINDIRECT) * 4)
+            };
+            if l1_block != 0 {
+                self.clear_indirect_slot(l1_block as u64, bn % NINDIRECT)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn clear_indirect_slot(&self, blockno: u64, index: usize) -> KernelResult<()> {
+        let mut block = self.cache.bread(blockno)?;
+        put_u32(block.data_mut(), index * 4, 0);
+        self.log.log_write(&block)
+    }
+
     fn readi(&self, data: &mut InodeData, offset: u64, buf: &mut [u8]) -> KernelResult<usize> {
         if offset >= data.size || buf.is_empty() {
             return Ok(0);
@@ -448,7 +484,10 @@ impl Xv6VfsFilesystem {
     }
 
     fn truncate_all(&self, inum: u32, data: &mut InodeData) -> KernelResult<()> {
-        // Free data blocks in log-sized chunks.
+        // Free data blocks in log-sized chunks.  Each chunk transaction
+        // leaves the inode consistent on disk (mappings cleared, size
+        // shrunk) so a crash between chunks never leaves the inode
+        // referencing freed blocks.
         let mut bn = data.size.div_ceil(BSIZE as u64);
         while bn > 0 {
             let start = bn.saturating_sub(512);
@@ -457,9 +496,11 @@ impl Xv6VfsFilesystem {
                 for b in start..bn {
                     if let Some(blockno) = self.bmap(data, b, false)? {
                         self.bfree(blockno)?;
+                        self.clear_mapping(data, b)?;
                     }
                 }
-                Ok(())
+                data.size = start * BSIZE as u64;
+                self.write_dinode(inum, data)
             })();
             self.log.end_op(&self.cache)?;
             result?;
@@ -565,12 +606,24 @@ impl VfsFs for Xv6VfsFilesystem {
                 ));
             }
             if size < guard.size {
-                // Free whole blocks beyond the new end.
+                // Free whole blocks beyond the new end, clearing their
+                // mappings in the same transaction, and zero the tail of
+                // the straddling block so later growth cannot resurrect
+                // old bytes.
                 self.log.begin_op();
                 let result = (|| {
                     for bn in size.div_ceil(BSIZE as u64)..guard.size.div_ceil(BSIZE as u64) {
                         if let Some(blockno) = self.bmap(&mut guard, bn, false)? {
                             self.bfree(blockno)?;
+                            self.clear_mapping(&mut guard, bn)?;
+                        }
+                    }
+                    if !size.is_multiple_of(BSIZE as u64) {
+                        if let Some(blockno) = self.bmap(&mut guard, size / BSIZE as u64, false)? {
+                            let keep = (size % BSIZE as u64) as usize;
+                            let mut block = self.cache.bread(blockno)?;
+                            block.data_mut()[keep..].fill(0);
+                            self.log.log_write(&block)?;
                         }
                     }
                     guard.size = size;

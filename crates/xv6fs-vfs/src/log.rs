@@ -21,8 +21,8 @@ use simkernel::error::{Errno, KernelError, KernelResult};
 use simkernel::shard::StripedCounter;
 
 use xv6fs::layout::{
-    get_u32, get_u64, put_u32, put_u64, DiskSuperblock, BSIZE, LOGSIZE, LOG_HEAD_BLOCKS_OFF,
-    LOG_HEAD_COUNT_OFF, LOG_HEAD_SEQ_OFF, MAXOPBLOCKS,
+    get_u32, get_u64, log_head_checksum, put_u32, put_u64, DiskSuperblock, BSIZE, LOGSIZE,
+    LOG_HEAD_BLOCKS_OFF, LOG_HEAD_CHECKSUM_OFF, LOG_HEAD_COUNT_OFF, LOG_HEAD_SEQ_OFF, MAXOPBLOCKS,
 };
 
 pub use xv6fs::log::LogStats;
@@ -393,6 +393,11 @@ impl VfsLog {
         for (i, block) in blocks.iter().enumerate() {
             cache.device().write_block(head_block + 1 + i as u64, &block.data)?;
         }
+        // The payload must be durable before the commit record: without
+        // this barrier the device's write cache may persist the
+        // (checksummed, valid-looking) record first, and a crash then makes
+        // recovery install whatever the region held before.
+        self.barrier(cache)?;
         self.write_head(cache, head_block, seq, blocks)?;
         self.barrier(cache)?;
         for block in blocks {
@@ -408,8 +413,11 @@ impl VfsLog {
                 cache.device().write_block(block.home, &block.data)?;
             }
         }
-        self.write_empty_head(cache, head_block, seq)?;
-        self.barrier(cache)
+        // Installs durable before the clear can be (see xv6fs::log): the
+        // clear itself rides to stability on whatever barrier comes next,
+        // and an unflushed clear only costs an idempotent re-replay.
+        self.barrier(cache)?;
+        self.write_empty_head(cache, head_block, seq)
     }
 
     fn barrier(&self, cache: &BufferCache) -> KernelResult<()> {
@@ -431,6 +439,8 @@ impl VfsLog {
         for (i, block) in blocks.iter().enumerate() {
             put_u32(head.data_mut(), LOG_HEAD_BLOCKS_OFF + i * 4, block.home as u32);
         }
+        let checksum = log_head_checksum(head.data());
+        put_u64(head.data_mut(), LOG_HEAD_CHECKSUM_OFF, checksum);
         head.write()
     }
 
@@ -438,6 +448,8 @@ impl VfsLog {
         let mut head = cache.bread(head_block)?;
         put_u32(head.data_mut(), LOG_HEAD_COUNT_OFF, 0);
         put_u64(head.data_mut(), LOG_HEAD_SEQ_OFF, seq);
+        let checksum = log_head_checksum(head.data());
+        put_u64(head.data_mut(), LOG_HEAD_CHECKSUM_OFF, checksum);
         head.write()
     }
 
@@ -454,6 +466,11 @@ impl VfsLog {
             let head = cache.bread(head_block)?;
             let n = get_u32(head.data(), LOG_HEAD_COUNT_OFF) as usize;
             if n == 0 || n > self.capacity {
+                continue;
+            }
+            if get_u64(head.data(), LOG_HEAD_CHECKSUM_OFF) != log_head_checksum(head.data()) {
+                // Torn commit-record write: the transaction never
+                // committed, so the region is clean.
                 continue;
             }
             let seq = get_u64(head.data(), LOG_HEAD_SEQ_OFF);
@@ -531,7 +548,7 @@ mod tests {
         let stats = log.stats();
         assert_eq!(stats.commits, 1);
         assert_eq!(stats.ops_committed, 1);
-        assert_eq!(stats.barriers, 2);
+        assert_eq!(stats.barriers, 3, "payload, commit record, clear");
     }
 
     #[test]
@@ -556,6 +573,8 @@ mod tests {
                 put_u32(head.data_mut(), LOG_HEAD_COUNT_OFF, 1);
                 put_u64(head.data_mut(), LOG_HEAD_SEQ_OFF, region);
                 put_u32(head.data_mut(), LOG_HEAD_BLOCKS_OFF, target as u32);
+                let checksum = log_head_checksum(head.data());
+                put_u64(head.data_mut(), LOG_HEAD_CHECKSUM_OFF, checksum);
                 head.write().unwrap();
             }
             assert_eq!(log.recover(&cache).unwrap(), 1, "region {region}");

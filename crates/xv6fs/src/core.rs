@@ -439,8 +439,8 @@ impl FsCore {
 
     /// Writes `src` at `offset`, allocating blocks as needed and growing the
     /// file size.  Must be called inside a transaction sized for the write
-    /// (see [`crate::fs::Xv6FileSystem::write`] for the chunking); the inode
-    /// is updated through the log.
+    /// (the `write` file operation in [`crate::fs`] chunks large writes);
+    /// the inode is updated through the log.
     ///
     /// # Errors
     ///

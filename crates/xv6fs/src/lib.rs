@@ -15,7 +15,7 @@
 //! and the [`SuperBlock`](bento::bentoks::SuperBlock) capability, the *same*
 //! implementation runs
 //!
-//! * in the kernel, mounted through [`BentoFsType`](bento::BentoFsType)
+//! * in the kernel, mounted through [`bento::BentoFsType`]
 //!   (wired up by [`fstype`]), and
 //! * in userspace, driven by the FUSE simulation or directly by tests via
 //!   [`bento::userspace`] — the paper's §4.9 debugging story.
@@ -52,6 +52,7 @@ pub mod alloc;
 pub mod core;
 pub mod dir;
 pub mod fs;
+pub mod fsck;
 pub mod inode;
 pub mod layout;
 pub mod log;

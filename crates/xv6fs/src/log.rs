@@ -2,13 +2,17 @@
 //!
 //! Every operation that modifies the file system wraps its block writes in a
 //! transaction: [`Log::begin_op`] … modify blocks via [`Log::log_write`] …
-//! [`Log::end_op`].  The commit protocol per group is the classic one:
+//! [`Log::end_op`].  The commit protocol per group is the classic one,
+//! hardened for devices with a reordering volatile write cache:
 //!
-//! 1. copy each modified block into the on-disk log area,
-//! 2. write the log header naming the blocks (the commit record) and issue a
-//!    barrier ([`SuperBlock::sync_all`]),
+//! 1. copy each modified block into the on-disk log area and issue a
+//!    barrier ([`SuperBlock::sync_all`]) — the payload must be durable
+//!    *before* the commit record, or a crash could leave a valid-looking
+//!    header pointing at stale log blocks,
+//! 2. write the log header naming the blocks (the commit record, carrying
+//!    a self-checksum so a torn header write is detected) and barrier,
 //! 3. install the blocks to their home locations,
-//! 4. clear the header and issue a second barrier.
+//! 4. clear the header and issue a final barrier.
 //!
 //! What differs from the teaching implementation is *where the waiting
 //! happens*:
@@ -62,9 +66,25 @@ use simkernel::error::{Errno, KernelError, KernelResult};
 use simkernel::shard::StripedCounter;
 
 use crate::layout::{
-    get_u32, get_u64, put_u32, put_u64, DiskSuperblock, BSIZE, LOGSIZE, LOG_HEAD_BLOCKS_OFF,
-    LOG_HEAD_COUNT_OFF, LOG_HEAD_SEQ_OFF, MAXOPBLOCKS,
+    get_u32, get_u64, log_head_checksum, put_u32, put_u64, DiskSuperblock, BSIZE, LOGSIZE,
+    LOG_HEAD_BLOCKS_OFF, LOG_HEAD_CHECKSUM_OFF, LOG_HEAD_COUNT_OFF, LOG_HEAD_SEQ_OFF, MAXOPBLOCKS,
 };
+
+/// Test-only crash-safety hook: when set, commits write the commit record
+/// and its barrier *before* the log payload — the unsafe ordering the
+/// three-barrier protocol exists to prevent.  The `crashsim` harness plants
+/// this bug to prove its oracles detect real ordering violations (a crash
+/// between the record and the payload makes recovery install stale log
+/// bytes).  Never enable outside tests.
+///
+/// Deliberately not behind a cargo feature: `crashsim` is a workspace
+/// default member, so feature unification would switch the gate on for
+/// every workspace build anyway, and the cost in production is one relaxed
+/// atomic load per commit.  The flag defaults to off and nothing outside
+/// `crashsim`'s dedicated planted-bug test process touches it.
+#[doc(hidden)]
+pub static TEST_UNSAFE_EARLY_COMMIT_RECORD: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
 
 /// One logged block: home address, modification version (orders snapshots
 /// of the same block), and the frozen bytes.
@@ -532,20 +552,36 @@ impl Log {
     }
 
     /// The commit I/O: copy frozen blocks to this group's region, barrier,
-    /// install, clear, barrier.
+    /// commit record, barrier, install, clear, barrier.
     fn commit_io(&self, sb: &SuperBlock, seq: u64, blocks: &[LoggedBlock]) -> KernelResult<()> {
         debug_assert!(blocks.len() <= self.capacity);
         let head_block = self.region_head(seq);
-        // 1. Frozen copies into the region's data blocks.  Written raw:
-        // log data blocks are only ever read back by recovery (on a fresh
-        // cache), so going through the buffer cache would just evict
-        // useful blocks once per commit.
-        for (i, block) in blocks.iter().enumerate() {
-            sb.write_raw(head_block + 1 + i as u64, &block.data)?;
+        if TEST_UNSAFE_EARLY_COMMIT_RECORD.load(Ordering::Relaxed) {
+            // Planted ordering bug (see the hook's docs): record first,
+            // then the payload — a crash in between leaves a valid commit
+            // record naming blocks whose log copies are stale.
+            self.write_head(sb, head_block, seq, blocks)?;
+            self.barrier(sb)?;
+            for (i, block) in blocks.iter().enumerate() {
+                sb.write_raw(head_block + 1 + i as u64, &block.data)?;
+            }
+            self.barrier(sb)?;
+        } else {
+            // 1. Frozen copies into the region's data blocks.  Written raw:
+            // log data blocks are only ever read back by recovery (on a
+            // fresh cache), so going through the buffer cache would just
+            // evict useful blocks once per commit.  The barrier orders the
+            // payload before the commit record — without it the device's
+            // write cache may persist the record first, and a crash then
+            // makes recovery install whatever the region held before.
+            for (i, block) in blocks.iter().enumerate() {
+                sb.write_raw(head_block + 1 + i as u64, &block.data)?;
+            }
+            self.barrier(sb)?;
+            // 2. Commit record.
+            self.write_head(sb, head_block, seq, blocks)?;
+            self.barrier(sb)?;
         }
-        // 2. Commit record.
-        self.write_head(sb, head_block, seq, blocks)?;
-        self.barrier(sb)?;
         // 3. Install to home locations.
         for block in blocks {
             let mut buf = sb.bread(block.home)?;
@@ -561,9 +597,17 @@ impl Log {
                 sb.write_raw(block.home, &block.data)?;
             }
         }
-        // 4. Clear the header.
-        self.write_empty_head(sb, head_block, seq)?;
-        self.barrier(sb)
+        // The installs must be durable before the header clear can be: a
+        // write cache that persisted the clear but not the installs would
+        // silently lose a committed transaction.
+        self.barrier(sb)?;
+        // 4. Clear the header.  Deliberately *not* flushed here: the next
+        // barrier anywhere (the following commit's payload barrier, an
+        // fsync, unmount) makes it durable, and until then a crash merely
+        // re-replays this transaction idempotently.  The region is only
+        // reused two commits later, by which point at least one barrier
+        // has passed, so a stale header can never alias a reused region.
+        self.write_empty_head(sb, head_block, seq)
     }
 
     fn barrier(&self, sb: &SuperBlock) -> KernelResult<()> {
@@ -591,6 +635,8 @@ impl Log {
         for (i, block) in blocks.iter().enumerate() {
             put_u32(data, LOG_HEAD_BLOCKS_OFF + i * 4, block.home as u32);
         }
+        let checksum = log_head_checksum(data);
+        put_u64(data, LOG_HEAD_CHECKSUM_OFF, checksum);
         head.write()?;
         Ok(())
     }
@@ -600,6 +646,8 @@ impl Log {
         let data = head.data_mut();
         put_u32(data, LOG_HEAD_COUNT_OFF, 0);
         put_u64(data, LOG_HEAD_SEQ_OFF, seq);
+        let checksum = log_head_checksum(data);
+        put_u64(data, LOG_HEAD_CHECKSUM_OFF, checksum);
         head.write()?;
         Ok(())
     }
@@ -618,6 +666,12 @@ impl Log {
             let head = sb.bread(head_block)?;
             let n = get_u32(head.data(), LOG_HEAD_COUNT_OFF) as usize;
             if n == 0 || n > self.capacity {
+                continue;
+            }
+            if get_u64(head.data(), LOG_HEAD_CHECKSUM_OFF) != log_head_checksum(head.data()) {
+                // A torn commit-record write (only some of the header's
+                // sectors reached the device before the crash): the
+                // transaction never committed, so the region is clean.
                 continue;
             }
             let seq = get_u64(head.data(), LOG_HEAD_SEQ_OFF);
@@ -694,6 +748,12 @@ mod tests {
         (sb, Log::new(&test_dsb(1024)))
     }
 
+    /// Stamps the self-checksum into a hand-crafted header buffer.
+    fn seal_head(head: &mut bento::bentoks::BufferHead) {
+        let checksum = log_head_checksum(head.data());
+        put_u64(head.data_mut(), LOG_HEAD_CHECKSUM_OFF, checksum);
+    }
+
     fn write_block_via_log(sb: &SuperBlock, log: &Log, blockno: u64, fill: u8) {
         log.begin_op();
         let mut buf = sb.bread(blockno).unwrap();
@@ -714,7 +774,7 @@ mod tests {
         assert_eq!(stats.commits, 2);
         assert_eq!(stats.blocks_logged, 2);
         assert_eq!(stats.ops_committed, 2);
-        assert_eq!(stats.barriers, 4, "two barriers per commit");
+        assert_eq!(stats.barriers, 6, "three barriers per commit");
     }
 
     #[test]
@@ -797,7 +857,7 @@ mod tests {
         assert!(stats.commits <= 160);
         assert_eq!(stats.blocks_logged, 160);
         assert_eq!(stats.ops_committed, 160);
-        assert_eq!(stats.barriers, stats.commits * 2);
+        assert_eq!(stats.barriers, stats.commits * 3);
     }
 
     #[test]
@@ -860,6 +920,7 @@ mod tests {
                 put_u32(head.data_mut(), LOG_HEAD_COUNT_OFF, 1);
                 put_u64(head.data_mut(), LOG_HEAD_SEQ_OFF, seq);
                 put_u32(head.data_mut(), LOG_HEAD_BLOCKS_OFF, target as u32);
+                seal_head(&mut head);
                 head.write().unwrap();
             }
             drop(log);
@@ -892,6 +953,7 @@ mod tests {
             put_u32(head.data_mut(), LOG_HEAD_COUNT_OFF, 1);
             put_u64(head.data_mut(), LOG_HEAD_SEQ_OFF, seq);
             put_u32(head.data_mut(), LOG_HEAD_BLOCKS_OFF, target as u32);
+            seal_head(&mut head);
             head.write().unwrap();
         }
         drop(log);
@@ -899,5 +961,31 @@ mod tests {
         assert_eq!(log2.recover(&sb).unwrap(), 2);
         assert_eq!(sb.bread(target).unwrap().data()[0], 0xBB);
         assert_eq!(log2.recover(&sb).unwrap(), 0);
+    }
+
+    #[test]
+    fn recover_rejects_torn_commit_record() {
+        // A header whose checksum does not cover its contents (a torn
+        // commit-record write) must be treated as clean, not installed.
+        let (sb, log) = setup();
+        {
+            let mut log_data = sb.bread_zeroed(3).unwrap();
+            log_data.data_mut().fill(0x99);
+            log_data.write().unwrap();
+            let mut head = sb.bread(2).unwrap();
+            put_u32(head.data_mut(), LOG_HEAD_COUNT_OFF, 1);
+            put_u64(head.data_mut(), LOG_HEAD_SEQ_OFF, 0);
+            put_u32(head.data_mut(), LOG_HEAD_BLOCKS_OFF, 800);
+            seal_head(&mut head);
+            // Corrupt one home entry after sealing: simulates a tear where
+            // the checksum sector and the block-list sector disagree.
+            put_u32(head.data_mut(), LOG_HEAD_BLOCKS_OFF, 801);
+            head.write().unwrap();
+        }
+        drop(log);
+        let log2 = Log::new(&test_dsb(1024));
+        assert_eq!(log2.recover(&sb).unwrap(), 0);
+        assert_eq!(sb.bread(800).unwrap().data()[0], 0, "nothing installed");
+        assert_eq!(sb.bread(801).unwrap().data()[0], 0, "nothing installed");
     }
 }
