@@ -9,10 +9,11 @@
 use std::collections::BTreeSet;
 
 use bench::{
-    crash_experiment, fig2_read_4k, fig3_read_throughput, fig4_write_throughput, print_rows,
-    rows_to_json, scaling_experiment, scaling_experiment_with_threads, table1_bug_analysis,
-    table2_mechanism_comparison, table4_create, table5_delete, table6_macrobenchmarks,
-    ExperimentConfig, Row, SCALING_SMOKE_THREADS,
+    crash_experiment, fig2_read_4k, fig3_read_throughput, fig4_write_throughput, load_experiment,
+    load_smoke_experiment, print_rows, report_to_json, scaling_experiment,
+    scaling_experiment_with_threads, table1_bug_analysis, table2_mechanism_comparison,
+    table4_create, table5_delete, table6_macrobenchmarks, ExperimentConfig, Row, RunMeta,
+    SCALING_SMOKE_THREADS,
 };
 
 fn main() {
@@ -27,7 +28,7 @@ fn main() {
     if selected.is_empty() || selected.contains("all") {
         selected = [
             "table1", "table2", "fig2", "fig3", "fig4", "table4", "table5", "table6", "scaling",
-            "crash",
+            "crash", "load",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -149,6 +150,30 @@ fn main() {
             "Crash: seeded crash-state enumeration, fsck + durability oracles",
         );
     }
+    if selected.contains("load") {
+        // Workload modeling + load generation: four personalities × three
+        // stacks with p50/p99/p99.9, the open-loop overload probe, the
+        // upgrade-under-traffic scenario (zero failed ops enforced), and
+        // transient-EIO injection under load.
+        run(
+            &mut all_rows,
+            &mut failures,
+            "load",
+            load_experiment(&cfg),
+            "Load: personalities × stacks, latency percentiles, upgrade + EIO under load",
+        );
+    }
+    if selected.contains("load-smoke") {
+        // CI smoke: quick closed-loop varmail on all three load stacks;
+        // any failed op or empty histogram fails the run.
+        run(
+            &mut all_rows,
+            &mut failures,
+            "load-smoke",
+            load_smoke_experiment(&cfg),
+            "Load smoke: varmail closed-loop on Bento / C-Kernel / Ext4",
+        );
+    }
     if selected.contains("scaling-smoke") {
         // CI smoke: 1 and 8 threads only, so the write-path counters (group
         // commit batching, allocator spread) are exercised on every PR.
@@ -162,7 +187,11 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        match std::fs::write(&path, rows_to_json(&all_rows)) {
+        // Every recorded result carries its environment: git rev, detected
+        // CPU count, configured thread count.  A BENCH file from the 1-CPU
+        // build container explains its own flat scaling curves.
+        let meta = RunMeta::detect(cfg.threads_high, quick);
+        match std::fs::write(&path, report_to_json(&meta, &all_rows)) {
             Ok(()) => println!("\nwrote {} rows to {path}", all_rows.len()),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");

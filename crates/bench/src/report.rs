@@ -62,6 +62,61 @@ pub fn rows_to_json(rows: &[Row]) -> String {
     serde_json::to_string_pretty(rows).unwrap_or_else(|_| "[]".to_string())
 }
 
+/// Metadata describing the machine and configuration a BENCH JSON was
+/// recorded on.
+///
+/// The ROADMAP's single-core-container caveat lives in prose; embedding the
+/// detected CPU count (and git rev / thread config) in every recorded
+/// result makes it visible in the data itself — a BENCH file with
+/// `"cpus": 1` explains its own flat scaling curves.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunMeta {
+    /// `git rev-parse --short HEAD` at run time (`"unknown"` outside a
+    /// checkout).
+    pub git_rev: String,
+    /// CPUs the runtime could detect on this machine.
+    pub cpus: usize,
+    /// The `threads_high` configuration the experiments ran with.
+    pub threads_high: usize,
+    /// `"quick"` or `"full"` experiment configuration.
+    pub config: String,
+}
+
+impl RunMeta {
+    /// Detects the environment for a run at `threads_high` threads.
+    pub fn detect(threads_high: usize, quick: bool) -> Self {
+        let git_rev = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+            .filter(|rev| !rev.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        RunMeta {
+            git_rev,
+            cpus: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads_high,
+            config: if quick { "quick" } else { "full" }.to_string(),
+        }
+    }
+}
+
+/// The full BENCH JSON document: run metadata plus the measured rows.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Where/how the rows were measured.
+    pub meta: RunMeta,
+    /// The measured rows.
+    pub rows: Vec<Row>,
+}
+
+/// Serializes a full report (meta + rows) to pretty JSON.
+pub fn report_to_json(meta: &RunMeta, rows: &[Row]) -> String {
+    let report = BenchReport { meta: meta.clone(), rows: rows.to_vec() };
+    serde_json::to_string_pretty(&report).unwrap_or_else(|_| "{}".to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +127,18 @@ mod tests {
         let json = rows_to_json(&rows);
         assert!(json.contains("seq-1t"));
         assert!(json.contains("150"));
+    }
+
+    #[test]
+    fn report_embeds_run_metadata() {
+        let meta = RunMeta::detect(32, true);
+        assert!(meta.cpus >= 1);
+        assert!(!meta.git_rev.is_empty());
+        let rows = vec![Row::new("load", "varmail-p99-us", "Bento", 420.0, "us", None)];
+        let json = report_to_json(&meta, &rows);
+        for key in ["\"meta\"", "\"git_rev\"", "\"cpus\"", "\"threads_high\"", "\"rows\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("varmail-p99-us"));
     }
 }

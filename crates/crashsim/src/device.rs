@@ -150,12 +150,21 @@ struct FaultCells {
 pub struct FaultDevice {
     inner: Arc<dyn BlockDevice>,
     config: FaultConfig,
+    /// Live transient-EIO probabilities (f64 bits).  Kept outside `config`
+    /// so scenario hooks can flip injection on and off mid-run
+    /// ([`FaultDevice::set_transient_eio`]) while a workload is driving the
+    /// device from other threads.
+    read_eio_bits: AtomicU64,
+    write_eio_bits: AtomicU64,
     rng: Mutex<SmallRng>,
     events: Mutex<Vec<Event>>,
     /// Volatile write cache used in reorder mode: blockno → newest data.
     pending: Mutex<Vec<(u64, Vec<u8>)>>,
     ops: AtomicU64,
     disconnected: AtomicBool,
+    /// When false, write/flush events are not recorded (long-running load
+    /// scenarios only want live injection, not an ever-growing trace).
+    trace_enabled: AtomicBool,
     cells: FaultCells,
 }
 
@@ -174,13 +183,43 @@ impl FaultDevice {
         FaultDevice {
             inner,
             rng: Mutex::new(SmallRng::seed_from_u64(config.seed)),
+            read_eio_bits: AtomicU64::new(config.read_eio.to_bits()),
+            write_eio_bits: AtomicU64::new(config.write_eio.to_bits()),
             config,
             events: Mutex::new(Vec::new()),
             pending: Mutex::new(Vec::new()),
             ops: AtomicU64::new(0),
             disconnected: AtomicBool::new(false),
+            trace_enabled: AtomicBool::new(true),
             cells: FaultCells::default(),
         }
+    }
+
+    /// Enables or disables trace recording.  Crash enumeration needs the
+    /// trace; live load scenarios disable it so memory stays bounded over
+    /// millions of writes.
+    pub fn set_trace_enabled(&self, enabled: bool) {
+        self.trace_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The live transient-EIO probabilities as `(read, write)`.
+    pub fn transient_eio(&self) -> (f64, f64) {
+        (
+            f64::from_bits(self.read_eio_bits.load(Ordering::Relaxed)),
+            f64::from_bits(self.write_eio_bits.load(Ordering::Relaxed)),
+        )
+    }
+
+    /// Retunes the transient-EIO probabilities while the device is live.
+    ///
+    /// This is the mid-run fault scenario hook: a load generator mounts a
+    /// stack over a quiet recorder device, flips EIO injection on for a
+    /// window under traffic, and off again — measuring how many operations
+    /// the stack fails (and that it keeps serving afterwards) without
+    /// remounting.  Probabilities are clamped to `[0, 1]`.
+    pub fn set_transient_eio(&self, read_p: f64, write_p: f64) {
+        self.read_eio_bits.store(read_p.clamp(0.0, 1.0).to_bits(), Ordering::Relaxed);
+        self.write_eio_bits.store(write_p.clamp(0.0, 1.0).to_bits(), Ordering::Relaxed);
     }
 
     /// A clone of the recorded trace so far.
@@ -273,7 +312,7 @@ impl BlockDevice for FaultDevice {
 
     fn read_block(&self, blockno: u64, buf: &mut [u8]) -> KernelResult<()> {
         self.gate()?;
-        if self.chance(self.config.read_eio) {
+        if self.chance(f64::from_bits(self.read_eio_bits.load(Ordering::Relaxed))) {
             self.cells.read_errors.fetch_add(1, Ordering::Relaxed);
             return Err(KernelError::with_context(Errno::Io, "crashsim: injected read error"));
         }
@@ -289,13 +328,15 @@ impl BlockDevice for FaultDevice {
 
     fn write_block(&self, blockno: u64, buf: &[u8]) -> KernelResult<()> {
         self.gate()?;
-        if self.chance(self.config.write_eio) {
+        if self.chance(f64::from_bits(self.write_eio_bits.load(Ordering::Relaxed))) {
             self.cells.write_errors.fetch_add(1, Ordering::Relaxed);
             return Err(KernelError::with_context(Errno::Io, "crashsim: injected write error"));
         }
         // The trace records what the file system *issued*; live injections
         // below only affect what reaches the medium.
-        self.events.lock().push(Event::Write { blockno, data: buf.to_vec() });
+        if self.trace_enabled.load(Ordering::Relaxed) {
+            self.events.lock().push(Event::Write { blockno, data: buf.to_vec() });
+        }
         if self.chance(self.config.drop_write) {
             self.cells.dropped_writes.fetch_add(1, Ordering::Relaxed);
             return Ok(());
@@ -336,7 +377,9 @@ impl BlockDevice for FaultDevice {
 
     fn flush(&self) -> KernelResult<()> {
         self.gate()?;
-        self.events.lock().push(Event::Flush);
+        if self.trace_enabled.load(Ordering::Relaxed) {
+            self.events.lock().push(Event::Flush);
+        }
         if self.config.reorder {
             let mut pending = std::mem::take(&mut *self.pending.lock());
             // Drain the volatile cache in shuffled order: legal for the

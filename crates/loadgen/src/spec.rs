@@ -1,0 +1,394 @@
+//! Declarative workload models: file-set shape + weighted op mix.
+//!
+//! A [`WorkloadSpec`] is the filebench-personality analogue: it describes a
+//! file population (directory tree shape, file count, size distribution)
+//! and a weighted mix of operations with Zipfian file popularity.  The
+//! drivers in [`crate::driver`] interpret the spec against any mounted
+//! stack; the four shipped personalities ([`WorkloadSpec::varmail`],
+//! [`WorkloadSpec::fileserver`], [`WorkloadSpec::webserver`],
+//! [`WorkloadSpec::untar_replay`]) are shaped like the paper's evaluation
+//! workloads (§6.4, §6.6).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use workloads::{generate_linux_like_manifest, UntarManifest};
+
+/// The operation classes a workload mixes (plus [`OpKind::Mkdir`], which
+/// only appears in manifest replays — directory creation is not part of a
+/// steady-state mix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Create a new file, write its whole body, close.
+    Create,
+    /// Read `io_size` bytes from a popular file.
+    Read,
+    /// Overwrite `io_size` bytes in place in a popular file.
+    Write,
+    /// Append `append_size` bytes to a popular file.
+    Append,
+    /// Append a small record and fsync it (the durability op class).
+    Fsync,
+    /// `stat` a popular file.
+    Stat,
+    /// Delete a file (most recently created by this worker, else a victim).
+    Delete,
+    /// Rename a file this worker created.
+    Rename,
+    /// Create a directory (manifest replay only).
+    Mkdir,
+}
+
+impl OpKind {
+    /// All op classes, in reporting order.
+    pub fn all() -> [OpKind; 9] {
+        [
+            OpKind::Create,
+            OpKind::Read,
+            OpKind::Write,
+            OpKind::Append,
+            OpKind::Fsync,
+            OpKind::Stat,
+            OpKind::Delete,
+            OpKind::Rename,
+            OpKind::Mkdir,
+        ]
+    }
+
+    /// Row label (`"create"`, `"read"`, ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Create => "create",
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+            OpKind::Append => "append",
+            OpKind::Fsync => "fsync",
+            OpKind::Stat => "stat",
+            OpKind::Delete => "delete",
+            OpKind::Rename => "rename",
+            OpKind::Mkdir => "mkdir",
+        }
+    }
+}
+
+/// A weighted op mix: each sampled operation is drawn with probability
+/// proportional to its weight.
+#[derive(Debug, Clone)]
+pub struct OpMix {
+    entries: Vec<(OpKind, u32)>,
+    total: u32,
+}
+
+impl OpMix {
+    /// Builds a mix from `(op, weight)` pairs; zero-weight entries are
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every weight is zero.
+    pub fn new(weights: &[(OpKind, u32)]) -> Self {
+        let entries: Vec<(OpKind, u32)> = weights.iter().copied().filter(|(_, w)| *w > 0).collect();
+        let total = entries.iter().map(|(_, w)| w).sum();
+        assert!(total > 0, "op mix needs at least one nonzero weight");
+        OpMix { entries, total }
+    }
+
+    /// Draws one op class.
+    pub fn sample(&self, rng: &mut SmallRng) -> OpKind {
+        let mut roll = rng.gen_range(0..self.total);
+        for (kind, weight) in &self.entries {
+            if roll < *weight {
+                return *kind;
+            }
+            roll -= weight;
+        }
+        self.entries[self.entries.len() - 1].0
+    }
+
+    /// The weight of `kind` in this mix (0 when absent).
+    pub fn weight(&self, kind: OpKind) -> u32 {
+        self.entries.iter().find(|(k, _)| *k == kind).map(|(_, w)| *w).unwrap_or(0)
+    }
+
+    /// The `(op, weight)` pairs of this mix.
+    pub fn entries(&self) -> &[(OpKind, u32)] {
+        &self.entries
+    }
+}
+
+/// File size distributions.
+#[derive(Debug, Clone, Copy)]
+pub enum SizeDist {
+    /// Every file is exactly this many bytes.
+    Fixed(u64),
+    /// Uniform over `[min, max]`.
+    Uniform {
+        /// Smallest file size.
+        min: u64,
+        /// Largest file size.
+        max: u64,
+    },
+}
+
+impl SizeDist {
+    /// Draws one file size.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match *self {
+            SizeDist::Fixed(n) => n,
+            SizeDist::Uniform { min, max } => rng.gen_range(min..=max),
+        }
+    }
+
+    /// The mean file size (used for offset spans on pre-existing files).
+    pub fn mean(&self) -> u64 {
+        match *self {
+            SizeDist::Fixed(n) => n,
+            SizeDist::Uniform { min, max } => (min + max) / 2,
+        }
+    }
+}
+
+/// The file population: a directory tree of fixed width/depth with files
+/// spread round-robin across the leaf directories.
+#[derive(Debug, Clone, Copy)]
+pub struct FileSetSpec {
+    /// Subdirectories per directory at every level.
+    pub dir_width: usize,
+    /// Directory levels below the base (`0` = files directly in the base).
+    pub depth: usize,
+    /// Number of pre-created files.
+    pub files: usize,
+    /// Size distribution of the pre-created files.
+    pub size: SizeDist,
+}
+
+impl FileSetSpec {
+    /// Every directory path under `base`, parents before children.
+    pub fn dir_paths(&self, base: &str) -> Vec<String> {
+        let base = base.trim_end_matches('/');
+        let mut all = Vec::new();
+        let mut level: Vec<String> = vec![base.to_string()];
+        for d in 0..self.depth {
+            let mut next = Vec::with_capacity(level.len() * self.dir_width);
+            for parent in &level {
+                for w in 0..self.dir_width {
+                    let path = format!("{parent}/d{d}-{w}");
+                    all.push(path.clone());
+                    next.push(path);
+                }
+            }
+            level = next;
+        }
+        all
+    }
+
+    /// Every file path under `base` (files live in the deepest directory
+    /// level, round-robin).
+    pub fn file_paths(&self, base: &str) -> Vec<String> {
+        let base = base.trim_end_matches('/');
+        let leaves: Vec<String> = if self.depth == 0 {
+            vec![base.to_string()]
+        } else {
+            let all = self.dir_paths(base);
+            let leaf_count = self.dir_width.pow(self.depth as u32);
+            all[all.len() - leaf_count..].to_vec()
+        };
+        (0..self.files).map(|i| format!("{}/f{}", leaves[i % leaves.len()], i)).collect()
+    }
+}
+
+/// A complete declarative workload: population + op mix + popularity skew.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Personality name (BENCH row label).
+    pub name: String,
+    /// The file population.
+    pub fileset: FileSetSpec,
+    /// The weighted op mix.
+    pub mix: OpMix,
+    /// Zipfian skew over file popularity (0 = uniform; filebench ≈ 0.99).
+    pub zipf_theta: f64,
+    /// Read/write I/O size in bytes.
+    pub io_size: usize,
+    /// Append size in bytes.
+    pub append_size: usize,
+    /// When set, the drivers replay this manifest (mkdir/create+write in
+    /// order) instead of sampling the mix — the untar-replay personality.
+    pub replay: Option<UntarManifest>,
+}
+
+impl WorkloadSpec {
+    /// The mail-server personality: small files, heavy create/delete churn,
+    /// fsync on every delivery (filebench `varmail`).
+    pub fn varmail() -> Self {
+        WorkloadSpec {
+            name: "varmail".to_string(),
+            fileset: FileSetSpec {
+                dir_width: 4,
+                depth: 1,
+                files: 200,
+                size: SizeDist::Uniform { min: 2 * 1024, max: 16 * 1024 },
+            },
+            mix: OpMix::new(&[
+                (OpKind::Create, 4),
+                (OpKind::Delete, 4),
+                (OpKind::Append, 4),
+                (OpKind::Fsync, 8),
+                (OpKind::Read, 8),
+                (OpKind::Stat, 4),
+            ]),
+            zipf_theta: 0.99,
+            io_size: 8 * 1024,
+            append_size: 4 * 1024,
+            replay: None,
+        }
+    }
+
+    /// The file-server personality: whole-file writes and reads, appends,
+    /// occasional deletes and renames over a larger population (filebench
+    /// `fileserver`).
+    pub fn fileserver() -> Self {
+        WorkloadSpec {
+            name: "fileserver".to_string(),
+            fileset: FileSetSpec {
+                dir_width: 5,
+                depth: 2,
+                files: 300,
+                size: SizeDist::Uniform { min: 8 * 1024, max: 64 * 1024 },
+            },
+            mix: OpMix::new(&[
+                (OpKind::Create, 4),
+                (OpKind::Read, 8),
+                (OpKind::Write, 6),
+                (OpKind::Append, 4),
+                (OpKind::Stat, 4),
+                (OpKind::Delete, 3),
+                (OpKind::Rename, 1),
+            ]),
+            zipf_theta: 0.8,
+            io_size: 16 * 1024,
+            append_size: 8 * 1024,
+            replay: None,
+        }
+    }
+
+    /// The web-server personality: overwhelmingly reads of popular small
+    /// objects plus a log append (filebench `webserver`).
+    pub fn webserver() -> Self {
+        WorkloadSpec {
+            name: "webserver".to_string(),
+            fileset: FileSetSpec {
+                dir_width: 8,
+                depth: 1,
+                files: 400,
+                size: SizeDist::Uniform { min: 1024, max: 32 * 1024 },
+            },
+            mix: OpMix::new(&[
+                (OpKind::Read, 20),
+                (OpKind::Stat, 4),
+                (OpKind::Append, 2),
+                (OpKind::Fsync, 1),
+            ]),
+            zipf_theta: 1.1,
+            io_size: 8 * 1024,
+            append_size: 512,
+            replay: None,
+        }
+    }
+
+    /// The untar-replay personality: replays a deterministic Linux-like
+    /// manifest (reusing `workloads::untar`'s generator) with per-op
+    /// latency, instead of sampling a steady-state mix.
+    pub fn untar_replay(files: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            name: "untar-replay".to_string(),
+            fileset: FileSetSpec { dir_width: 1, depth: 0, files: 0, size: SizeDist::Fixed(0) },
+            // Replay ignores the mix, but a spec always carries a valid one.
+            mix: OpMix::new(&[(OpKind::Create, 1)]),
+            zipf_theta: 0.0,
+            io_size: 64 * 1024,
+            append_size: 0,
+            replay: Some(generate_linux_like_manifest(files / 6, files, seed)),
+        }
+    }
+
+    /// The four shipped personalities at the given untar scale.
+    pub fn personalities(untar_files: usize) -> Vec<WorkloadSpec> {
+        vec![
+            WorkloadSpec::varmail(),
+            WorkloadSpec::fileserver(),
+            WorkloadSpec::webserver(),
+            WorkloadSpec::untar_replay(untar_files, 42),
+        ]
+    }
+
+    /// Scales the pre-created file count (builder style) so smoke tests can
+    /// shrink a personality without redefining it.
+    #[must_use]
+    pub fn with_files(mut self, files: usize) -> Self {
+        self.fileset.files = files;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_sampling_tracks_weights() {
+        let mix = OpMix::new(&[(OpKind::Read, 3), (OpKind::Write, 1)]);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut reads = 0;
+        for _ in 0..4000 {
+            if mix.sample(&mut rng) == OpKind::Read {
+                reads += 1;
+            }
+        }
+        // 3:1 mix → ~75% reads.
+        assert!((2700..=3300).contains(&reads), "reads {reads} out of proportion");
+        assert_eq!(mix.weight(OpKind::Read), 3);
+        assert_eq!(mix.weight(OpKind::Delete), 0);
+    }
+
+    #[test]
+    fn fileset_paths_cover_every_leaf() {
+        let spec = FileSetSpec { dir_width: 3, depth: 2, files: 20, size: SizeDist::Fixed(1024) };
+        let dirs = spec.dir_paths("/");
+        assert_eq!(dirs.len(), 3 + 9, "3 level-0 dirs + 9 leaves");
+        assert!(dirs[0].starts_with("/d0-"));
+        let files = spec.file_paths("/");
+        assert_eq!(files.len(), 20);
+        // Files land only in leaf directories and round-robin across all 9.
+        let leaves: std::collections::HashSet<&str> =
+            files.iter().map(|f| f.rsplit_once('/').unwrap().0).collect();
+        assert_eq!(leaves.len(), 9);
+    }
+
+    #[test]
+    fn depth_zero_puts_files_in_base() {
+        let spec = FileSetSpec { dir_width: 4, depth: 0, files: 3, size: SizeDist::Fixed(10) };
+        assert!(spec.dir_paths("/").is_empty());
+        assert_eq!(spec.file_paths("/"), vec!["/f0", "/f1", "/f2"]);
+    }
+
+    #[test]
+    fn personalities_are_shaped_as_documented() {
+        let all = WorkloadSpec::personalities(120);
+        assert_eq!(all.len(), 4);
+        let varmail = &all[0];
+        assert!(varmail.mix.weight(OpKind::Fsync) > 0, "varmail must fsync");
+        let webserver = &all[2];
+        assert!(
+            webserver.mix.weight(OpKind::Read) > 3 * webserver.mix.weight(OpKind::Append),
+            "webserver must be read-dominated"
+        );
+        let untar = &all[3];
+        let manifest = untar.replay.as_ref().expect("untar-replay carries a manifest");
+        assert_eq!(manifest.file_count(), 120);
+        // Deterministic: same seed, same manifest.
+        let again = WorkloadSpec::untar_replay(120, 42);
+        assert_eq!(again.replay.unwrap(), *manifest);
+    }
+}

@@ -36,6 +36,10 @@
 //! * [`sync`] — kernel-flavoured synchronization wrappers.
 //! * [`hash`] — dependency-free FNV-1a checksums used by on-disk records
 //!   that must survive torn writes (log commit records, checkpoints).
+//! * [`metrics`] — the shared log-bucketed latency histogram
+//!   ([`metrics::LatencyHistogram`]) every workload driver records
+//!   per-operation latency through, so p50/p99/p99.9 mean the same thing in
+//!   every BENCH row.
 //!
 //! The crate is intentionally free of `unsafe` code.
 //!
@@ -62,6 +66,7 @@ pub mod dev;
 pub mod error;
 pub mod hash;
 pub mod memfs;
+pub mod metrics;
 pub mod pagecache;
 pub mod shard;
 pub mod sync;

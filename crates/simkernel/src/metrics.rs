@@ -1,0 +1,329 @@
+//! Latency instrumentation shared by every workload driver.
+//!
+//! [`LatencyHistogram`] is an HDR-style log-bucketed histogram: values are
+//! binned into power-of-two octaves, each split into
+//! [`SUB_BUCKETS`](LatencyHistogram::SUB_BUCKETS) linear sub-buckets, so
+//! recording is O(1), memory is a fixed ~15 KiB regardless of range, and any
+//! reported quantile has a bounded relative error of `1 / SUB_BUCKETS`
+//! (≈3.1%).  This is the one stopwatch implementation in the workspace: the
+//! `workloads` micro-loops, the `loadgen` drivers, and the bench experiments
+//! all record through it, so p50/p99/p99.9 are computed the same way
+//! everywhere.
+//!
+//! The intended pattern under concurrency is per-thread histograms merged at
+//! the end of a run ([`LatencyHistogram::merge`]) — recording takes `&mut
+//! self` and stays lock-free.
+
+use std::time::{Duration, Instant};
+
+/// Number of linear sub-buckets per power-of-two octave (as a `u64`).
+const SUB: u64 = 1 << LatencyHistogram::SUB_BUCKET_BITS;
+
+/// Total bucket count: values below [`SUB`] get exact unit buckets; above,
+/// each of the remaining octaves (up to 2^63) contributes [`SUB`] buckets.
+const BUCKETS: usize = ((64 - LatencyHistogram::SUB_BUCKET_BITS as usize)
+    << LatencyHistogram::SUB_BUCKET_BITS as usize)
+    + SUB as usize;
+
+/// A log-bucketed latency histogram over `u64` nanosecond values.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::metrics::LatencyHistogram;
+///
+/// let mut hist = LatencyHistogram::new();
+/// for v in 1..=100u64 {
+///     hist.record(v * 1_000); // 1µs .. 100µs
+/// }
+/// assert_eq!(hist.count(), 100);
+/// let p50 = hist.percentile(50.0);
+/// assert!((45_000..=55_000).contains(&p50));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// log2 of the number of linear sub-buckets per octave.  32 sub-buckets
+    /// bound the relative quantile error at 1/32 ≈ 3.1%.
+    pub const SUB_BUCKET_BITS: u32 = 5;
+
+    /// Number of linear sub-buckets per octave.
+    pub const SUB_BUCKETS: u64 = SUB;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: vec![0; BUCKETS], count: 0, total: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// The bucket index for `value`: exact unit buckets below
+    /// [`Self::SUB_BUCKETS`], then `SUB_BUCKETS` linear sub-buckets per
+    /// power-of-two octave.
+    fn index(value: u64) -> usize {
+        if value < SUB {
+            value as usize
+        } else {
+            let top = 63 - value.leading_zeros(); // >= SUB_BUCKET_BITS
+            let shift = top - Self::SUB_BUCKET_BITS;
+            (((shift as usize) + 1) << Self::SUB_BUCKET_BITS as usize)
+                + ((value >> shift) & (SUB - 1)) as usize
+        }
+    }
+
+    /// The largest value mapping to bucket `idx` (what quantiles report, so
+    /// reported percentiles never understate the observed latency).
+    fn bucket_upper_bound(idx: usize) -> u64 {
+        if idx < SUB as usize {
+            idx as u64
+        } else {
+            let block = (idx >> Self::SUB_BUCKET_BITS as usize) as u32;
+            let offset = idx as u64 & (SUB - 1);
+            let shift = block - 1;
+            // `- 1` before adding the bucket width: the top octave's last
+            // bucket ends exactly at `u64::MAX` and would overflow otherwise.
+            ((SUB + offset) << shift) - 1 + (1u64 << shift)
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index(value)] += 1;
+        self.count += 1;
+        self.total += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a [`Duration`] as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Times `f` and records the elapsed nanoseconds, returning `f`'s
+    /// result — the shared stopwatch used by every workload loop.
+    pub fn time<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.record_duration(start.elapsed());
+        out
+    }
+
+    /// Folds `other` into `self` (used to merge per-thread histograms).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded values (exact, not bucketed; 0 when
+    /// empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// The value at percentile `p` (e.g. `50.0`, `99.0`, `99.9`): the upper
+    /// bound of the bucket holding the rank-`ceil(p/100·count)` value, so
+    /// the result is within one sub-bucket (≤3.2% relative error) above the
+    /// true quantile.  Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // Never report past the observed extremes.
+                return Self::bucket_upper_bound(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: (p50, p90, p99, p99.9) in one call.
+    pub fn quartet(&self) -> (u64, u64, u64, u64) {
+        (self.percentile(50.0), self.percentile(90.0), self.percentile(99.0), self.percentile(99.9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_contiguous() {
+        // Every value maps to a bucket no earlier than its predecessor's,
+        // and the first value of each octave lands on the next index after
+        // the previous octave's last.
+        let mut last = 0usize;
+        for v in 0u64..4096 {
+            let idx = LatencyHistogram::index(v);
+            assert!(idx >= last, "index must be monotone at {v}");
+            assert!(idx - last <= 1, "no gaps at {v}");
+            last = idx;
+        }
+        // Boundary spot checks: 31 is the last exact bucket, 32 starts the
+        // first scaled octave, 64 the next.
+        assert_eq!(LatencyHistogram::index(31), 31);
+        assert_eq!(LatencyHistogram::index(32), 32);
+        assert_eq!(LatencyHistogram::index(63), 63);
+        assert_eq!(LatencyHistogram::index(64), 64);
+        assert_eq!(LatencyHistogram::index(127), 95);
+        assert_eq!(LatencyHistogram::index(128), 96);
+    }
+
+    #[test]
+    fn bucket_upper_bound_inverts_index() {
+        for v in [0u64, 1, 31, 32, 63, 64, 100, 1000, 4095, 4096, 1 << 20, u64::MAX / 2] {
+            let idx = LatencyHistogram::index(v);
+            let hi = LatencyHistogram::bucket_upper_bound(idx);
+            assert!(hi >= v, "upper bound {hi} must cover {v}");
+            // The upper bound itself maps back into the same bucket.
+            assert_eq!(LatencyHistogram::index(hi), idx, "bound of {v} maps elsewhere");
+            // The next value starts a new bucket.
+            assert_eq!(LatencyHistogram::index(hi + 1), idx + 1, "bucket after {v} not adjacent");
+        }
+    }
+
+    #[test]
+    fn exact_quantiles_on_small_values() {
+        // Values below SUB_BUCKETS have exact unit buckets, so quantiles on
+        // them are exact (golden values).
+        let mut h = LatencyHistogram::new();
+        for v in 1..=20u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(5.0), 1);
+        assert_eq!(h.percentile(50.0), 10);
+        assert_eq!(h.percentile(95.0), 19);
+        assert_eq!(h.percentile(100.0), 20);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 20);
+        assert!((h.mean() - 10.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_on_large_values_have_bounded_error() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1_000); // 1µs .. 10ms
+        }
+        for (p, exact) in [(50.0, 5_000_000u64), (90.0, 9_000_000), (99.0, 9_900_000)] {
+            let got = h.percentile(p);
+            assert!(got >= exact, "p{p} must not understate: {got} < {exact}");
+            let rel = (got - exact) as f64 / exact as f64;
+            assert!(rel <= 1.0 / 32.0 + 1e-9, "p{p} error {rel} exceeds sub-bucket bound");
+        }
+        assert_eq!(h.percentile(100.0), 10_000_000);
+    }
+
+    #[test]
+    fn percentile_never_escapes_observed_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_003);
+        // A single sample: every percentile is that sample, not the bucket
+        // boundary above it.
+        for p in [0.0, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 1_000_003);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for v in 1..=500u64 {
+            let scaled = v * 977; // spread across octaves
+            if v % 2 == 0 {
+                a.record(scaled);
+            } else {
+                b.record(scaled);
+            }
+            whole.record(scaled);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for p in [10.0, 50.0, 90.0, 99.0, 99.9] {
+            assert_eq!(a.percentile(p), whole.percentile(p), "p{p} differs after merge");
+        }
+    }
+
+    #[test]
+    fn time_records_one_sample() {
+        let mut h = LatencyHistogram::new();
+        let out = h.time(|| 7u32);
+        assert_eq!(out, 7);
+        assert_eq!(h.count(), 1);
+        assert!(h.max() > 0, "elapsed time must be recorded");
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record_duration(Duration::from_secs(u64::MAX / 1_000_000_000));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.percentile(1.0), 0);
+        assert_eq!(h.percentile(100.0), u64::MAX);
+    }
+}

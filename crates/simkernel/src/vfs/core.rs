@@ -462,11 +462,23 @@ impl Vfs {
     pub fn write(&self, fd: u64, data: &[u8]) -> KernelResult<usize> {
         let file = self.file(fd)?;
         let mut pos = file.pos.lock();
-        let offset = if file.flags.contains(OpenFlags::APPEND) {
-            file.mount.page_cache.file_size(&file.mount.fs, file.ino)?
-        } else {
-            *pos
-        };
+        if file.flags.contains(OpenFlags::APPEND) {
+            if !file.flags.writable() {
+                return Err(KernelError::with_context(
+                    Errno::BadF,
+                    "descriptor not open for writing",
+                ));
+            }
+            // EOF lookup + write in one page-cache critical section:
+            // `pos.lock()` only serializes this descriptor, so reading the
+            // size here and writing in a second call would let appenders on
+            // *other* descriptors of the same file observe the same EOF and
+            // overwrite each other.
+            let (offset, n) = file.mount.page_cache.append(&file.mount.fs, file.ino, data)?;
+            *pos = offset + n as u64;
+            return Ok(n);
+        }
+        let offset = *pos;
         let n = self.write_at_file(&file, offset, data)?;
         *pos = offset + n as u64;
         Ok(n)

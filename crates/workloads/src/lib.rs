@@ -25,5 +25,5 @@ pub use runner::{
     create_micro, delete_micro, fileserver, read_micro, read_micro_disjoint, varmail, write_micro,
     write_micro_disjoint, AccessPattern, WorkloadResult,
 };
-pub use stacks::{mount_stack, mount_stack_with, FsStack, MountedStack};
-pub use untar::{generate_linux_like_manifest, untar, UntarManifest};
+pub use stacks::{mount_stack, mount_stack_on_device, mount_stack_with, FsStack, MountedStack};
+pub use untar::{generate_linux_like_manifest, untar, UntarEntry, UntarManifest};

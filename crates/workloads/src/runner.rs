@@ -9,10 +9,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use simkernel::error::{Errno, KernelResult};
+use simkernel::metrics::LatencyHistogram;
 use simkernel::vfs::{OpenFlags, Vfs};
 
 /// Sequential or uniformly random access offsets.
@@ -47,6 +49,10 @@ pub struct WorkloadResult {
     pub bytes: u64,
     /// Measured wall-clock duration.
     pub elapsed: Duration,
+    /// Per-iteration latency (merged across worker threads).  For the
+    /// microbenchmarks one iteration is one operation; for the
+    /// macrobenchmark loops one iteration is one flowop sequence.
+    pub latency: LatencyHistogram,
 }
 
 impl WorkloadResult {
@@ -58,6 +64,12 @@ impl WorkloadResult {
     /// Payload throughput in MB/s (10^6 bytes, as filebench reports).
     pub fn throughput_mbps(&self) -> f64 {
         self.bytes as f64 / 1_000_000.0 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Per-iteration latency percentile in microseconds (e.g. `50.0`,
+    /// `99.0`).
+    pub fn latency_us(&self, p: f64) -> f64 {
+        self.latency.percentile(p) as f64 / 1_000.0
     }
 }
 
@@ -76,6 +88,10 @@ where
     let body = Arc::new(body);
     let total_ops = Arc::new(AtomicU64::new(0));
     let total_bytes = Arc::new(AtomicU64::new(0));
+    // Each worker records into its own histogram (lock-free hot path) and
+    // merges once at the end — the shared stopwatch pattern from
+    // `simkernel::metrics`.
+    let merged = Arc::new(Mutex::new(LatencyHistogram::new()));
     let start = Instant::now();
     let deadline = start + duration;
     let mut handles = Vec::new();
@@ -83,18 +99,23 @@ where
         let body = Arc::clone(&body);
         let total_ops = Arc::clone(&total_ops);
         let total_bytes = Arc::clone(&total_bytes);
+        let merged = Arc::clone(&merged);
         handles.push(std::thread::spawn(move || -> KernelResult<()> {
             let mut rng = SmallRng::seed_from_u64(0x5eed_0000 + t as u64);
+            let mut hist = LatencyHistogram::new();
             let mut iteration = 0u64;
             while Instant::now() < deadline {
+                let iter_started = Instant::now();
                 let (ops, bytes) = body(t, &mut rng, iteration)?;
                 if ops == 0 && bytes == 0 {
                     break; // workload exhausted (e.g. nothing left to delete)
                 }
+                hist.record_duration(iter_started.elapsed());
                 total_ops.fetch_add(ops, Ordering::Relaxed);
                 total_bytes.fetch_add(bytes, Ordering::Relaxed);
                 iteration += 1;
             }
+            merged.lock().merge(&hist);
             Ok(())
         }));
     }
@@ -103,12 +124,14 @@ where
             simkernel::error::KernelError::with_context(Errno::Io, "worker panicked")
         })??;
     }
+    let latency = merged.lock().clone();
     Ok(WorkloadResult {
         name: name.to_string(),
         threads,
         operations: total_ops.load(Ordering::Relaxed),
         bytes: total_bytes.load(Ordering::Relaxed),
         elapsed: start.elapsed(),
+        latency,
     })
 }
 
@@ -562,6 +585,11 @@ mod tests {
         assert!(result.operations > 0);
         assert_eq!(result.bytes, result.operations * 4096);
         assert!(result.ops_per_sec() > 0.0);
+        // Per-op latency rides along through the shared histogram: one
+        // sample per completed iteration, ordered percentiles.
+        assert_eq!(result.latency.count(), result.operations);
+        assert!(result.latency_us(50.0) <= result.latency_us(99.0));
+        assert!(result.latency.max() > 0);
     }
 
     #[test]

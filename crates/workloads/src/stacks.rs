@@ -111,31 +111,51 @@ pub fn mount_stack_with(
 ) -> KernelResult<MountedStack> {
     let device = Arc::new(SsdDevice::ram_backed(disk_blocks, model.clone()));
     let device_dyn: Arc<dyn BlockDevice> = Arc::clone(&device) as Arc<dyn BlockDevice>;
+    let vfs = mount_stack_on_device(stack, model, device_dyn, options)?;
+    Ok(MountedStack { vfs, stack, device })
+}
+
+/// Mounts `stack` at `/` of a fresh VFS over a **caller-provided** block
+/// device (mkfs included for the xv6 variants), returning the VFS.
+///
+/// This is the hook for interposed devices: the load generator wraps the
+/// usual [`SsdDevice`] in a crashsim `FaultDevice` and mounts through here,
+/// so fault scenarios drive the exact same mount path as the clean runs.
+///
+/// # Errors
+///
+/// Propagates mkfs/mount errors.
+pub fn mount_stack_on_device(
+    stack: FsStack,
+    model: CostModel,
+    device: Arc<dyn BlockDevice>,
+    options: &MountOptions,
+) -> KernelResult<Arc<Vfs>> {
     let fd_shards =
         options.get("fd_shards").and_then(|v| v.parse::<usize>().ok()).unwrap_or_default();
     let vfs = Arc::new(Vfs::new(VfsConfig { shard_count: fd_shards, ..VfsConfig::default() }));
     match stack {
         FsStack::BentoXv6 => {
-            xv6fs::mkfs::mkfs_on_device(&device_dyn, 8192)?;
+            xv6fs::mkfs::mkfs_on_device(&device, 8192)?;
             vfs.register_filesystem(Arc::new(xv6fs::fstype()))?;
-            vfs.mount(xv6fs::BENTO_XV6_NAME, device_dyn, "/", options)?;
+            vfs.mount(xv6fs::BENTO_XV6_NAME, device, "/", options)?;
         }
         FsStack::VfsXv6 => {
-            xv6fs::mkfs::mkfs_on_device(&device_dyn, 8192)?;
+            xv6fs::mkfs::mkfs_on_device(&device, 8192)?;
             vfs.register_filesystem(Arc::new(Xv6VfsFilesystemType))?;
-            vfs.mount(xv6fs_vfs::VFS_XV6_NAME, device_dyn, "/", options)?;
+            vfs.mount(xv6fs_vfs::VFS_XV6_NAME, device, "/", options)?;
         }
         FsStack::FuseXv6 => {
-            xv6fs::mkfs::mkfs_on_device(&device_dyn, 8192)?;
+            xv6fs::mkfs::mkfs_on_device(&device, 8192)?;
             vfs.register_filesystem(Arc::new(FuseXv6FilesystemType::with_model(model, 8)))?;
-            vfs.mount("xv6fs_fuse", device_dyn, "/", options)?;
+            vfs.mount("xv6fs_fuse", device, "/", options)?;
         }
         FsStack::Ext4 => {
             vfs.register_filesystem(Arc::new(Ext4FilesystemType))?;
-            vfs.mount(ext4sim::EXT4_NAME, device_dyn, "/", options)?;
+            vfs.mount(ext4sim::EXT4_NAME, device, "/", options)?;
         }
     }
-    Ok(MountedStack { vfs, stack, device })
+    Ok(vfs)
 }
 
 #[cfg(test)]
