@@ -413,6 +413,13 @@ fn write_path_delta(before: &WritePathStats, after: &WritePathStats) -> WritePat
             .zip(before.alloc_per_group.iter().chain(std::iter::repeat(&0)))
             .map(|(a, b)| a.saturating_sub(*b))
             .collect(),
+        // In-flight depth is a gauge sampled by the device, not a
+        // monotonic counter: the max cannot be differenced, so the
+        // interval keeps the device-lifetime max, and the mean components
+        // are differenced like the counters.
+        queue_depth_max: after.queue_depth_max,
+        queue_depth_sum: after.queue_depth_sum.saturating_sub(before.queue_depth_sum),
+        queue_depth_samples: after.queue_depth_samples.saturating_sub(before.queue_depth_samples),
     }
 }
 
@@ -542,8 +549,13 @@ pub fn scaling_experiment_with_threads(
     // up as fewer device barriers per operation at higher thread counts.
     for stack in [FsStack::BentoXv6, FsStack::VfsXv6] {
         for threads in SCALING_SMOKE_THREADS {
-            let (create, delta) =
-                create_with_write_path_stats(stack, cfg, &MountOptions::default(), threads)?;
+            let (create, delta) = create_with_write_path_stats(
+                stack,
+                cfg,
+                &MountOptions::default(),
+                threads,
+                CostModel::nvme_ssd_scaled(8),
+            )?;
             rows.push(Row::new(
                 "scaling",
                 &format!("create-nvme-{threads}t"),
@@ -562,6 +574,62 @@ pub fn scaling_experiment_with_threads(
                     None,
                 ));
             }
+        }
+    }
+    // Queue-depth sweep on the queued NVMe device (Bento, 8 threads,
+    // `queue_depth` mount option).  Depth 1 still queues but serializes
+    // service; deeper queues let the two-stage commit overlap stage-1
+    // payload copies with the previous group's installs.  Besides ops/s
+    // the rows surface the write-path barrier discipline (must stay flat —
+    // overlap may never add barriers) and the in-flight depth gauge the
+    // device samples (mean/max), which is the direct evidence that
+    // requests actually overlapped.
+    for depth in [1usize, 8, 32] {
+        let options = MountOptions::default().with_option("queue_depth", &depth.to_string());
+        // Unscaled NVMe service time: the ~10 µs per-block service is what
+        // makes in-flight overlap visible on the depth gauge (heavily
+        // scaled-down service completes before the next submission).
+        let (create, delta) = create_with_write_path_stats(
+            FsStack::BentoXv6,
+            cfg,
+            &options,
+            8,
+            CostModel::nvme_ssd(),
+        )?;
+        let label = FsStack::BentoXv6.label();
+        rows.push(Row::new(
+            "scaling",
+            &format!("create-8t-qd{depth}"),
+            label,
+            create.ops_per_sec(),
+            "ops/sec",
+            None,
+        ));
+        if let Some(delta) = delta {
+            rows.push(Row::new(
+                "scaling",
+                &format!("create-8t-qd{depth}-barriers-per-op"),
+                label,
+                delta.barriers_per_op(),
+                "barriers/op",
+                None,
+            ));
+            rows.push(Row::new(
+                "scaling",
+                &format!("create-8t-qd{depth}-mean-depth"),
+                label,
+                delta.mean_queue_depth(),
+                "requests",
+                None,
+            ));
+            rows.push(Row::new(
+                "scaling",
+                &format!("create-8t-qd{depth}-max-depth"),
+                label,
+                delta.queue_depth_max as f64,
+                "requests",
+                None,
+            ));
         }
     }
     // Allocation-group knob sweep through the mount options (1 group ==
@@ -627,10 +695,10 @@ pub fn crash_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
         disk_blocks: 8192,
         mode: CrashMode::Sampled { states: if quick { 160 } else { 400 } },
         max_violations: 8,
+        queue_depth: 0,
     };
     let mut rows = Vec::new();
-    for stack in CrashStack::all() {
-        let report = run_crash_test(stack, &crash_cfg)?;
+    let gate = |rows: &mut Vec<Row>, report: &crashsim::CrashReport, prefix: &str| {
         for (config, value) in [
             ("states-checked", report.states_checked as f64),
             ("violations", report.violations_found as f64),
@@ -638,12 +706,19 @@ pub fn crash_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
             ("trace-writes", report.trace_writes as f64),
             ("trace-epochs", report.trace_epochs as f64),
         ] {
-            rows.push(Row::new("crash", config, report.stack, value, "count", None));
+            rows.push(Row::new(
+                "crash",
+                &format!("{prefix}{config}"),
+                report.stack,
+                value,
+                "count",
+                None,
+            ));
         }
         if !report.is_clean() {
             eprintln!(
-                "crash oracle violations on {}: {} found across {} states",
-                report.stack, report.violations_found, report.states_checked
+                "crash oracle violations on {}{}: {} found across {} states",
+                prefix, report.stack, report.violations_found, report.states_checked
             );
             for violation in &report.violations {
                 eprintln!("  [{}] {}", violation.state, violation.detail);
@@ -653,7 +728,19 @@ pub fn crash_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
                 "crash oracle violations found (details on stderr)",
             ));
         }
+        Ok(())
+    };
+    for stack in CrashStack::all() {
+        let report = run_crash_test(stack, &crash_cfg)?;
+        gate(&mut rows, &report, "")?;
     }
+    // One more pass through the queued (multi-queue) device model: batched
+    // payload submission and two-stage commit overlap must keep both
+    // oracles clean, with the recorder observing every queued write in its
+    // submission epoch.  `queued-*` rows distinguish it in the JSON.
+    let queued_cfg = CrashTestConfig { queue_depth: 8, ..crash_cfg };
+    let report = run_crash_test(CrashStack::BentoXv6, &queued_cfg)?;
+    gate(&mut rows, &report, "queued-")?;
     Ok(rows)
 }
 
@@ -728,33 +815,56 @@ pub fn load_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
         }
     }
 
-    // Open-loop overload probe (Bento, varmail): offer a multiple of the
-    // just-measured closed-loop rate; the backlog and inflated p99 are the
-    // point — open-loop drivers measure overload instead of hiding it.
-    let closed_rate = rows
-        .iter()
-        .find(|r| r.stack == FsStack::BentoXv6.label() && r.config == "varmail")
-        .map(|r| r.value)
-        .unwrap_or(1000.0);
-    let mounted = mount_stack(FsStack::BentoXv6, cfg.model.clone(), cfg.disk_blocks)?;
-    let spec = loadgen::WorkloadSpec::varmail().with_files(files);
-    let open_cfg = loadgen::LoadConfig {
-        error_policy: loadgen::ErrorPolicy::FailFast,
-        ..loadgen::LoadConfig::open(cfg.macro_threads, closed_rate * 4.0, duration)
-    };
-    loadgen::prepare(&mounted.vfs, &spec, &open_cfg)?;
-    let open = loadgen::run_load(&mounted.vfs, &spec, &open_cfg)?;
+    // Open-loop overload probes (Bento, varmail and fileserver): offer a
+    // multiple of the just-measured closed-loop rate; the backlog and
+    // inflated p99 are the point — open-loop drivers measure overload
+    // instead of hiding it.  Each personality runs twice, on the default
+    // synchronous device (`{name}-open-*` rows) and on the queued NVMe
+    // model at depth 32 (`{name}-open-queued-*` rows): under overload the
+    // two-stage commit overlaps consecutive groups' log I/O, so the queued
+    // p99 must come in below the synchronous one at the same offered rate.
     let label = FsStack::BentoXv6.label();
-    rows.push(Row::new("load", "varmail-open-p99-us", label, open.p_us(99.0), "us", None));
-    rows.push(Row::new(
-        "load",
-        "varmail-open-backlog-ms",
-        label,
-        open.max_backlog.as_secs_f64() * 1_000.0,
-        "ms",
-        None,
-    ));
-    mounted.unmount()?;
+    let specs: [fn() -> loadgen::WorkloadSpec; 2] =
+        [loadgen::WorkloadSpec::varmail, loadgen::WorkloadSpec::fileserver];
+    for make_spec in specs {
+        let open_spec = make_spec().with_files(files);
+        let closed_rate = rows
+            .iter()
+            .find(|r| r.stack == label && r.config == open_spec.name)
+            .map(|r| r.value)
+            .unwrap_or(1000.0);
+        for (suffix, options) in [
+            ("", MountOptions::default()),
+            ("-queued", MountOptions::default().with_option("queue_depth", "32")),
+        ] {
+            let mounted =
+                mount_stack_with(FsStack::BentoXv6, cfg.model.clone(), cfg.disk_blocks, &options)?;
+            let open_cfg = loadgen::LoadConfig {
+                error_policy: loadgen::ErrorPolicy::FailFast,
+                ..loadgen::LoadConfig::open(cfg.macro_threads, closed_rate * 4.0, duration)
+            };
+            loadgen::prepare(&mounted.vfs, &open_spec, &open_cfg)?;
+            let open = loadgen::run_load(&mounted.vfs, &open_spec, &open_cfg)?;
+            rows.push(Row::new(
+                "load",
+                &format!("{}-open{}-p99-us", open_spec.name, suffix),
+                label,
+                open.p_us(99.0),
+                "us",
+                None,
+            ));
+            rows.push(Row::new(
+                "load",
+                &format!("{}-open{}-backlog-ms", open_spec.name, suffix),
+                label,
+                open.max_backlog.as_secs_f64() * 1_000.0,
+                "ms",
+                None,
+            ));
+            mounted.unmount()?;
+        }
+    }
+    let spec = loadgen::WorkloadSpec::varmail().with_files(files);
 
     // Upgrade under sustained traffic (paper §6.2): swap in a fresh xv6fs
     // implementation mid-run; zero failed ops and a measured pause are the
@@ -846,8 +956,9 @@ fn create_with_write_path_stats(
     cfg: &ExperimentConfig,
     options: &MountOptions,
     threads: usize,
+    model: CostModel,
 ) -> KernelResult<(workloads::WorkloadResult, Option<WritePathStats>)> {
-    let mounted = mount_stack_with(stack, CostModel::nvme_ssd_scaled(8), cfg.disk_blocks, options)?;
+    let mounted = mount_stack_with(stack, model, cfg.disk_blocks, options)?;
     let before = write_path_snapshot(&mounted);
     let create = create_micro(&mounted.vfs, 4096, threads, cfg.duration)?;
     let delta = match (before, write_path_snapshot(&mounted)) {
@@ -916,6 +1027,32 @@ mod tests {
                 "missing fd-shard sweep row fds{shards}"
             );
         }
+        // Queue-depth sweep rows: throughput plus the in-flight depth
+        // gauge the queued device samples.  At any depth the barrier
+        // discipline must hold, and the device must have seen real
+        // overlap (max depth above 1) once the queue allows it.
+        for depth in [1, 8, 32] {
+            for (suffix, unit) in
+                [("", "ops/sec"), ("-barriers-per-op", "barriers/op"), ("-mean-depth", "requests")]
+            {
+                let config = format!("create-8t-qd{depth}{suffix}");
+                let row = rows
+                    .iter()
+                    .find(|r| r.stack == "Bento" && r.config == config)
+                    .unwrap_or_else(|| panic!("missing queue-depth sweep row {config}"));
+                assert!(row.value > 0.0, "{config} must be populated");
+                assert_eq!(row.unit, unit);
+            }
+        }
+        let max_depth_row = rows
+            .iter()
+            .find(|r| r.config == "create-8t-qd32-max-depth")
+            .expect("missing qd32 max-depth row");
+        assert!(
+            max_depth_row.value > 1.0,
+            "depth-32 queue never overlapped requests (max depth {})",
+            max_depth_row.value
+        );
     }
 
     #[test]

@@ -352,7 +352,17 @@ impl VfsFs for BentoFs {
     }
 
     fn write_path_stats(&self) -> Option<simkernel::vfs::WritePathStats> {
-        self.fs.read().write_path_stats()
+        let mut stats = self.fs.read().write_path_stats()?;
+        // FsCore has no device handle, so the queue-depth figures are
+        // filled in here where the SuperBlock is available.  They stay
+        // zero on a sync (non-queued) device.
+        if let Some(q) = self.sb.queued() {
+            let depth = q.cost_counters().snapshot();
+            stats.queue_depth_max = depth.max_inflight;
+            stats.queue_depth_sum = depth.inflight_sum;
+            stats.queue_depth_samples = depth.inflight_samples;
+        }
+        Some(stats)
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {

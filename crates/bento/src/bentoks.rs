@@ -26,6 +26,7 @@ use std::sync::Arc;
 use simkernel::buffer::{BufferCache, BufferGuard};
 use simkernel::dev::BlockDevice;
 use simkernel::error::KernelResult;
+use simkernel::queue::QueuedBlockDevice;
 
 /// Provider of block I/O for a mounted file system.
 ///
@@ -75,6 +76,15 @@ pub trait BlockIo: Send + Sync {
     ///
     /// Propagates device errors.
     fn write_raw(&self, blockno: u64, data: &[u8]) -> KernelResult<()>;
+
+    /// Returns the asynchronous multi-queue face of the underlying device,
+    /// if it has one.  The write-ahead log uses it to batch-submit payload
+    /// copies and overlap them with a previous group's installs; `None`
+    /// (the default, and the userspace provider's only answer) keeps the
+    /// log on the synchronous path.
+    fn queued(&self) -> Option<&dyn QueuedBlockDevice> {
+        None
+    }
 }
 
 /// An exclusive handle to one block's contents.
@@ -179,6 +189,10 @@ impl BlockIo for KernelBlockIo {
     fn write_raw(&self, blockno: u64, data: &[u8]) -> KernelResult<()> {
         self.cache.device().write_block(blockno, data)
     }
+
+    fn queued(&self) -> Option<&dyn QueuedBlockDevice> {
+        self.cache.device().as_queued()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -268,6 +282,14 @@ impl SuperBlock {
     /// Propagates device errors.
     pub fn write_raw(&self, blockno: u64, data: &[u8]) -> KernelResult<()> {
         self.io.write_raw(blockno, data)
+    }
+
+    /// The asynchronous multi-queue face of the mounted device, if it has
+    /// one (see [`BlockIo::queued`]).  The write-ahead log checks this at
+    /// commit time to decide between synchronous writes and batch
+    /// submission with overlapped completion.
+    pub fn queued(&self) -> Option<&dyn QueuedBlockDevice> {
+        self.io.queued()
     }
 }
 

@@ -40,6 +40,7 @@
 //!     disk_blocks: 4096,
 //!     mode: CrashMode::Sampled { states: 16 },
 //!     max_violations: 8,
+//!     queue_depth: 0,
 //! };
 //! let report = run_crash_test(CrashStack::BentoXv6, &cfg)?;
 //! assert!(report.is_clean(), "{:?}", report.violations);

@@ -24,6 +24,7 @@ fn early_commit_record_ordering_bug_is_caught() {
         disk_blocks: 4096,
         mode: CrashMode::Prefixes,
         max_violations: 8,
+        queue_depth: 0,
     };
     // Sanity: with the correct ordering the same run is clean.
     let clean = run_crash_test(CrashStack::BentoXv6, &cfg).unwrap();

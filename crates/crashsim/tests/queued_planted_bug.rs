@@ -1,0 +1,54 @@
+//! Proof that the queued-device crash checker has teeth: a deliberately
+//! planted ordering bug specific to the batched commit path — the commit
+//! record submitted *without waiting for the payload completions* (no
+//! payload barrier) — must be caught.
+//!
+//! With the barrier skipped, the batched stage-1 payload writes and the
+//! commit record land in the *same* barrier epoch.  Crash enumeration is
+//! free to reorder within an epoch, so some crash states persist a valid,
+//! checksummed commit record whose log-region payload never made it —
+//! recovery then installs stale region bytes over live metadata, which the
+//! fsck and durability oracles must flag.
+//!
+//! This test lives in its own integration-test binary because the hook is
+//! process-global.
+
+use std::sync::atomic::Ordering;
+
+use crashsim::{run_crash_test, CrashMode, CrashStack, CrashTestConfig};
+use xv6fs::log::TEST_UNSAFE_RECORD_WITHOUT_PAYLOAD_BARRIER;
+
+#[test]
+fn record_without_payload_barrier_is_caught_on_the_queued_device() {
+    // Sampled mode, deliberately: in-order prefixes can never see this bug
+    // (submission order still puts the payload first); only the sampled
+    // subset/reorder states exercise the freedom the missing barrier
+    // grants the write cache.
+    let cfg = CrashTestConfig {
+        seed: 0xBAD_0B10,
+        ops: 60,
+        disk_blocks: 4096,
+        mode: CrashMode::Sampled { states: 300 },
+        max_violations: 8,
+        queue_depth: 8,
+    };
+    // Sanity: with the payload barrier in place the same queued run is
+    // clean.
+    let clean = run_crash_test(CrashStack::BentoXv6, &cfg).unwrap();
+    assert!(
+        clean.is_clean(),
+        "correct ordering must pass: {:#?}",
+        clean.violations.iter().take(3).collect::<Vec<_>>()
+    );
+
+    TEST_UNSAFE_RECORD_WITHOUT_PAYLOAD_BARRIER.store(true, Ordering::SeqCst);
+    let report = run_crash_test(CrashStack::BentoXv6, &cfg);
+    TEST_UNSAFE_RECORD_WITHOUT_PAYLOAD_BARRIER.store(false, Ordering::SeqCst);
+
+    let report = report.unwrap();
+    assert!(
+        report.violations_found > 0,
+        "the planted record-without-payload-barrier bug went undetected across {} crash states",
+        report.states_checked
+    );
+}

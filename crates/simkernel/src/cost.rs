@@ -53,6 +53,12 @@ pub struct CostCounters {
     fuse_round_trips: AtomicU64,
     whole_file_syncs: AtomicU64,
     total_ns: AtomicU64,
+    /// Requests currently outstanding on the device (submitted, not yet
+    /// completed).  The gauge behind the max/mean depth statistics.
+    inflight: AtomicU64,
+    inflight_max: AtomicU64,
+    inflight_sum: AtomicU64,
+    inflight_samples: AtomicU64,
 }
 
 /// A snapshot of [`CostCounters`].
@@ -72,6 +78,27 @@ pub struct CostSnapshot {
     pub whole_file_syncs: u64,
     /// Total simulated nanoseconds charged.
     pub total_ns: u64,
+    /// Peak number of requests outstanding on the device at once.  Stays at
+    /// 1 for synchronous devices; rises with the queue depth when the
+    /// multi-queue device overlaps in-flight requests.
+    pub max_inflight: u64,
+    /// Sum of the outstanding-request depth sampled at every submission
+    /// (`inflight_sum / inflight_samples` is the mean depth).
+    pub inflight_sum: u64,
+    /// Number of depth samples taken (one per submission).
+    pub inflight_samples: u64,
+}
+
+impl CostSnapshot {
+    /// Mean outstanding-request depth over all submissions (0.0 when no
+    /// request was ever submitted).
+    pub fn mean_inflight(&self) -> f64 {
+        if self.inflight_samples == 0 {
+            0.0
+        } else {
+            self.inflight_sum as f64 / self.inflight_samples as f64
+        }
+    }
 }
 
 /// The latency model applied by simulated devices and boundaries.
@@ -179,9 +206,16 @@ impl CostModel {
     }
 
     /// A scaled-down version of [`CostModel::nvme_ssd`] for quick Criterion
-    /// runs: identical ratios, one tenth of every latency.
+    /// runs: identical ratios, every latency divided by `divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.  A zero divisor is always a caller bug
+    /// (it would previously be silently clamped to 1, hiding the mistake
+    /// behind unscaled latencies).
     pub fn nvme_ssd_scaled(divisor: u64) -> Self {
-        let d = divisor.max(1);
+        assert!(divisor != 0, "nvme_ssd_scaled: divisor must be nonzero");
+        let d = divisor;
         let m = CostModel::nvme_ssd();
         CostModel {
             block_read_ns: m.block_read_ns / d,
@@ -200,18 +234,7 @@ impl CostModel {
     /// Charges `ns` nanoseconds of kind `kind`: records it in `counters` and
     /// (if `inject_delays` is set) injects a matching wall-clock delay.
     pub fn charge(&self, counters: &CostCounters, kind: CostKind, ns: u64) {
-        match kind {
-            CostKind::DeviceRead => counters.reads.fetch_add(1, Ordering::Relaxed),
-            CostKind::DeviceWrite => counters.writes.fetch_add(1, Ordering::Relaxed),
-            CostKind::DeviceFlush => counters.flushes.fetch_add(1, Ordering::Relaxed),
-            CostKind::BoundaryCrossing => counters.crossings.fetch_add(1, Ordering::Relaxed),
-            CostKind::BoundaryCopy => 0,
-            CostKind::FuseRoundTrip => counters.fuse_round_trips.fetch_add(1, Ordering::Relaxed),
-            CostKind::UserspaceWholeFileSync => {
-                counters.whole_file_syncs.fetch_add(1, Ordering::Relaxed)
-            }
-        };
-        counters.total_ns.fetch_add(ns, Ordering::Relaxed);
+        counters.record(kind, ns);
         if self.inject_delays && ns > 0 {
             delay_ns(ns);
         }
@@ -224,6 +247,48 @@ impl CostCounters {
         CostCounters::default()
     }
 
+    /// Records `ns` nanoseconds of kind `kind` without injecting any
+    /// wall-clock delay.  The queued device uses this at submission time:
+    /// the charged time is the request's *service* time, but the wall-clock
+    /// wait only materializes later, when a completion is reaped — that gap
+    /// is exactly the in-flight overlap the multi-queue model exists to
+    /// express.
+    pub fn record(&self, kind: CostKind, ns: u64) {
+        match kind {
+            CostKind::DeviceRead => self.reads.fetch_add(1, Ordering::Relaxed),
+            CostKind::DeviceWrite => self.writes.fetch_add(1, Ordering::Relaxed),
+            CostKind::DeviceFlush => self.flushes.fetch_add(1, Ordering::Relaxed),
+            CostKind::BoundaryCrossing => self.crossings.fetch_add(1, Ordering::Relaxed),
+            CostKind::BoundaryCopy => 0,
+            CostKind::FuseRoundTrip => self.fuse_round_trips.fetch_add(1, Ordering::Relaxed),
+            CostKind::UserspaceWholeFileSync => {
+                self.whole_file_syncs.fetch_add(1, Ordering::Relaxed)
+            }
+        };
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records one request entering the device: bumps the in-flight gauge
+    /// and folds the new depth into the max/mean statistics.  Returns the
+    /// depth observed (this request included).
+    pub fn io_submitted(&self) -> u64 {
+        let depth = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inflight_max.fetch_max(depth, Ordering::Relaxed);
+        self.inflight_sum.fetch_add(depth, Ordering::Relaxed);
+        self.inflight_samples.fetch_add(1, Ordering::Relaxed);
+        depth
+    }
+
+    /// Records one request completing (the in-flight gauge drops by one).
+    pub fn io_completed(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests currently outstanding.
+    pub fn inflight_now(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
     /// Takes a consistent-enough snapshot of the counters.
     pub fn snapshot(&self) -> CostSnapshot {
         CostSnapshot {
@@ -234,10 +299,14 @@ impl CostCounters {
             fuse_round_trips: self.fuse_round_trips.load(Ordering::Relaxed),
             whole_file_syncs: self.whole_file_syncs.load(Ordering::Relaxed),
             total_ns: self.total_ns.load(Ordering::Relaxed),
+            max_inflight: self.inflight_max.load(Ordering::Relaxed),
+            inflight_sum: self.inflight_sum.load(Ordering::Relaxed),
+            inflight_samples: self.inflight_samples.load(Ordering::Relaxed),
         }
     }
 
-    /// Resets every counter to zero.
+    /// Resets every counter to zero (the in-flight gauge included; callers
+    /// reset only at quiescent instants).
     pub fn reset(&self) {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
@@ -246,6 +315,10 @@ impl CostCounters {
         self.fuse_round_trips.store(0, Ordering::Relaxed);
         self.whole_file_syncs.store(0, Ordering::Relaxed);
         self.total_ns.store(0, Ordering::Relaxed);
+        self.inflight.store(0, Ordering::Relaxed);
+        self.inflight_max.store(0, Ordering::Relaxed);
+        self.inflight_sum.store(0, Ordering::Relaxed);
+        self.inflight_samples.store(0, Ordering::Relaxed);
     }
 }
 
@@ -312,6 +385,43 @@ mod tests {
         assert!(elapsed >= Duration::from_micros(200), "elapsed {elapsed:?}");
         // Generous upper bound: scheduling noise on a loaded single core.
         assert!(elapsed < Duration::from_millis(100), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor must be nonzero")]
+    fn scaled_model_rejects_zero_divisor() {
+        let _ = CostModel::nvme_ssd_scaled(0);
+    }
+
+    #[test]
+    fn inflight_depth_tracks_max_and_mean() {
+        let counters = CostCounters::new();
+        // Depths observed: 1, 2, 3, then drain, then 1.
+        counters.io_submitted();
+        counters.io_submitted();
+        counters.io_submitted();
+        counters.io_completed();
+        counters.io_completed();
+        counters.io_completed();
+        counters.io_submitted();
+        counters.io_completed();
+        let snap = counters.snapshot();
+        assert_eq!(snap.max_inflight, 3);
+        assert_eq!(snap.inflight_samples, 4);
+        assert_eq!(snap.inflight_sum, 1 + 2 + 3 + 1);
+        assert!((snap.mean_inflight() - 7.0 / 4.0).abs() < 1e-9);
+        assert_eq!(counters.inflight_now(), 0);
+    }
+
+    #[test]
+    fn record_accounts_without_delay() {
+        let counters = CostCounters::new();
+        let start = Instant::now();
+        counters.record(CostKind::DeviceWrite, 50_000_000);
+        assert!(start.elapsed() < Duration::from_millis(40), "record must not sleep");
+        let snap = counters.snapshot();
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.total_ns, 50_000_000);
     }
 
     #[test]

@@ -66,6 +66,15 @@ pub trait BlockDevice: Send + Sync {
 
     /// Returns cumulative I/O statistics for this device.
     fn stats(&self) -> DeviceStats;
+
+    /// Returns the asynchronous multi-queue face of this device, if it has
+    /// one (see [`crate::queue::QueuedBlockDevice`]).  Synchronous devices
+    /// return `None`; callers such as the write-ahead logs use this to
+    /// opt into batch submission and overlapped completion when — and only
+    /// when — the mounted device supports it.
+    fn as_queued(&self) -> Option<&dyn crate::queue::QueuedBlockDevice> {
+        None
+    }
 }
 
 /// Cumulative I/O statistics reported by a device.
@@ -280,7 +289,12 @@ impl BlockDevice for SsdDevice {
     fn write_block(&self, blockno: u64, buf: &[u8]) -> KernelResult<()> {
         self.inner.write_block(blockno, buf)?;
         self.dirty_since_flush.fetch_add(1, Ordering::Relaxed);
+        // Sample the in-flight depth gauge around the synchronous charge so
+        // the depth statistics are comparable across device models (a
+        // synchronous SSD is a depth-1 device by construction).
+        self.counters.io_submitted();
         self.model.charge(&self.counters, CostKind::DeviceWrite, self.model.block_write_ns);
+        self.counters.io_completed();
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }

@@ -17,6 +17,12 @@
 //!   wrapper that injects a calibrated NVMe-SSD latency model (per-block
 //!   read/write cost, volatile write cache, FLUSH cost) and records
 //!   statistics.
+//! * [`queue`] — the completion-based multi-queue device model
+//!   ([`queue::MultiQueueDevice`]): NVMe-style submission/completion queue
+//!   pairs with configurable depth, batch submission, interrupt-vs-poll
+//!   completion, and cost charging that overlaps in-flight requests instead
+//!   of summing them serially.  The write-ahead logs use it for two-stage
+//!   overlapped commit.
 //! * [`buffer`] — a buffer cache with xv6/Linux `bread`/`bwrite`/`brelse`
 //!   semantics; buffers are handed out as RAII guards.
 //! * [`pagecache`] — a per-file page cache with dirty tracking and both
@@ -68,6 +74,7 @@ pub mod hash;
 pub mod memfs;
 pub mod metrics;
 pub mod pagecache;
+pub mod queue;
 pub mod shard;
 pub mod sync;
 pub mod vfs;

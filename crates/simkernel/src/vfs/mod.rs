@@ -253,6 +253,17 @@ pub struct WritePathStats {
     pub log_barriers: u64,
     /// Allocations served per allocation group.
     pub alloc_per_group: Vec<u64>,
+    /// Peak requests in flight on the mounted device at once (1 on a
+    /// synchronous device; rises toward the queue depth when the log
+    /// overlaps submissions on a multi-queue device).  Zero when the device
+    /// exposes no depth statistics.
+    pub queue_depth_max: u64,
+    /// Sum of the in-flight depth sampled at every submission; divide by
+    /// [`WritePathStats::queue_depth_samples`] for the mean
+    /// (see [`WritePathStats::mean_queue_depth`]).
+    pub queue_depth_sum: u64,
+    /// Number of depth samples (one per submitted request).
+    pub queue_depth_samples: u64,
 }
 
 impl WritePathStats {
@@ -269,6 +280,16 @@ impl WritePathStats {
     /// Number of allocation groups that served at least one allocation.
     pub fn groups_used(&self) -> usize {
         self.alloc_per_group.iter().filter(|&&n| n > 0).count()
+    }
+
+    /// Mean in-flight request depth over all submissions (0.0 when the
+    /// device exposed no depth statistics).
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.queue_depth_samples == 0 {
+            0.0
+        } else {
+            self.queue_depth_sum as f64 / self.queue_depth_samples as f64
+        }
     }
 }
 

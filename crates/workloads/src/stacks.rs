@@ -1,15 +1,18 @@
 //! Building the four file system stacks the paper compares.
 //!
-//! Each stack is mounted on a RAM-backed, latency-modelled NVMe device
-//! ([`SsdDevice`]) so that all four see identical storage behaviour; the
-//! FUSE stack additionally receives the boundary-crossing / whole-file-fsync
-//! model (§6.4).
+//! Each stack is mounted on a RAM-backed, latency-modelled NVMe device so
+//! that all four see identical storage behaviour; the FUSE stack
+//! additionally receives the boundary-crossing / whole-file-fsync model
+//! (§6.4).  By default the device is the synchronous [`SsdDevice`]; the
+//! `queue_depth` mount option switches to the completion-based multi-queue
+//! model ([`MultiQueueDevice`]) instead — see [`mount_stack_with`].
 
 use std::sync::Arc;
 
 use simkernel::cost::CostModel;
 use simkernel::dev::{BlockDevice, SsdDevice};
 use simkernel::error::KernelResult;
+use simkernel::queue::{MultiQueueDevice, QueueConfig};
 use simkernel::vfs::{MountOptions, Vfs, VfsConfig};
 
 use ext4sim::Ext4FilesystemType;
@@ -57,8 +60,10 @@ pub struct MountedStack {
     pub vfs: Arc<Vfs>,
     /// Which stack this is.
     pub stack: FsStack,
-    /// The latency-modelled device underneath.
-    pub device: Arc<SsdDevice>,
+    /// The latency-modelled device underneath (a synchronous [`SsdDevice`]
+    /// by default, a [`MultiQueueDevice`] when the mount asked for one;
+    /// `device.as_queued()` distinguishes them).
+    pub device: Arc<dyn BlockDevice>,
 }
 
 impl std::fmt::Debug for MountedStack {
@@ -100,6 +105,17 @@ pub fn mount_stack(
 /// mount's kernel instance — closing the loop on the construction-time-only
 /// knob the ROADMAP called out.
 ///
+/// Device-model options select the storage model underneath:
+///
+/// * `queue_depth=N` (N > 0) — mount on the NVMe-style multi-queue device
+///   with per-queue depth N instead of the synchronous [`SsdDevice`]; the
+///   write-ahead logs then batch-submit their commit payloads and overlap
+///   consecutive commits (two-stage commit).
+/// * `queues=N` — number of submission/completion queue pairs (default 4;
+///   only meaningful with `queue_depth`).
+/// * `completion=poll` — spin for completions instead of sleeping
+///   (interrupt-style), the NVMe polled-queue trade-off.
+///
 /// # Errors
 ///
 /// Propagates mkfs/mount errors.
@@ -109,10 +125,29 @@ pub fn mount_stack_with(
     disk_blocks: u64,
     options: &MountOptions,
 ) -> KernelResult<MountedStack> {
-    let device = Arc::new(SsdDevice::ram_backed(disk_blocks, model.clone()));
-    let device_dyn: Arc<dyn BlockDevice> = Arc::clone(&device) as Arc<dyn BlockDevice>;
-    let vfs = mount_stack_on_device(stack, model, device_dyn, options)?;
+    let device = device_for_options(&model, disk_blocks, options);
+    let vfs = mount_stack_on_device(stack, model, Arc::clone(&device), options)?;
     Ok(MountedStack { vfs, stack, device })
+}
+
+/// Builds the backing device the mount options select: the synchronous
+/// [`SsdDevice`] by default, the multi-queue model when `queue_depth` is
+/// set to a nonzero value.
+fn device_for_options(
+    model: &CostModel,
+    disk_blocks: u64,
+    options: &MountOptions,
+) -> Arc<dyn BlockDevice> {
+    let depth = options.get("queue_depth").and_then(|v| v.parse::<usize>().ok()).unwrap_or(0);
+    if depth == 0 {
+        return Arc::new(SsdDevice::ram_backed(disk_blocks, model.clone()));
+    }
+    let queues = options.get("queues").and_then(|v| v.parse::<usize>().ok()).unwrap_or(4);
+    let mut config = QueueConfig::new(queues.max(1), depth);
+    if options.get("completion") == Some("poll") {
+        config = config.polled();
+    }
+    Arc::new(MultiQueueDevice::ram_backed(disk_blocks, model.clone(), config))
 }
 
 /// Mounts `stack` at `/` of a fresh VFS over a **caller-provided** block
@@ -192,6 +227,28 @@ mod tests {
             assert_eq!(mounted.vfs.stat("/fdshard-smoke").unwrap().size, 4);
             mounted.unmount().unwrap();
         }
+    }
+
+    #[test]
+    fn queue_depth_mount_option_selects_the_queued_device() {
+        let options =
+            MountOptions::default().with_option("queue_depth", "8").with_option("queues", "2");
+        for stack in FsStack::all() {
+            let mounted = mount_stack_with(stack, CostModel::zero(), 16_384, &options).unwrap();
+            assert!(
+                mounted.device.as_queued().is_some(),
+                "queue_depth must select the multi-queue model ({stack:?})"
+            );
+            let fd = mounted.vfs.open("/q", OpenFlags::RDWR.with(OpenFlags::CREAT)).unwrap();
+            mounted.vfs.write(fd, b"queued").unwrap();
+            mounted.vfs.fsync(fd).unwrap();
+            mounted.vfs.close(fd).unwrap();
+            assert_eq!(mounted.vfs.stat("/q").unwrap().size, 6, "stack {stack:?}");
+            mounted.unmount().unwrap();
+        }
+        // Without the option the mount stays on the synchronous model.
+        let sync = mount_stack(FsStack::BentoXv6, CostModel::zero(), 16_384).unwrap();
+        assert!(sync.device.as_queued().is_none());
     }
 
     #[test]

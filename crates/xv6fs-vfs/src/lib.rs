@@ -564,12 +564,23 @@ impl VfsFs for Xv6VfsFilesystem {
 
     fn write_path_stats(&self) -> Option<WritePathStats> {
         let log = self.log.stats();
+        // Queue-depth figures exist only when the backing device is a
+        // queued (multi-queue) model; a sync device reports zeros.
+        let depth = self
+            .cache
+            .device()
+            .as_queued()
+            .map(|q| q.cost_counters().snapshot())
+            .unwrap_or_default();
         Some(WritePathStats {
             log_commits: log.commits,
             log_ops: log.ops_committed,
             log_blocks: log.blocks_logged,
             log_barriers: log.barriers,
             alloc_per_group: self.alloc.allocations_per_group(),
+            queue_depth_max: depth.max_inflight,
+            queue_depth_sum: depth.inflight_sum,
+            queue_depth_samples: depth.inflight_samples,
         })
     }
 

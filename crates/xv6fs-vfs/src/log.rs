@@ -2,12 +2,17 @@
 //! buffer cache (the way the paper's C implementation calls `sb_bread` /
 //! `brelse` / `blkdev_issue_flush` itself).
 //!
-//! The protocol is the same pipelined group commit as [`xv6fs::log`]:
+//! The protocol is the same pipelined group commit as [`xv6fs::log`],
+//! including the two-stage overlapped commit on multi-queue devices:
 //! `begin_op` reserves space from an atomic counter, `log_write` stages a
 //! frozen snapshot in thread-local state, completed operations merge into
 //! the forming group at `end_op`, and commits alternate between two on-disk
 //! log regions so the next group forms while the previous one writes its
-//! barriers.  The difference is purely which interface the I/O is written
+//! barriers.  When the mounted device exposes a
+//! [`simkernel::queue::QueuedBlockDevice`] face, stage-1 payload copies are
+//! batch-submitted and the committer prefetches the next group's payload
+//! right after its record barrier (see [`xv6fs::log`] for the full safety
+//! argument).  The difference is purely which interface the I/O is written
 //! against ([`BufferCache`] instead of the Bento `SuperBlock` capability).
 
 use std::cell::RefCell;
@@ -20,10 +25,8 @@ use simkernel::buffer::{BufferCache, BufferGuard};
 use simkernel::error::{Errno, KernelError, KernelResult};
 use simkernel::shard::StripedCounter;
 
-use xv6fs::layout::{
-    get_u32, get_u64, log_head_checksum, put_u32, put_u64, DiskSuperblock, BSIZE, LOGSIZE,
-    LOG_HEAD_BLOCKS_OFF, LOG_HEAD_CHECKSUM_OFF, LOG_HEAD_COUNT_OFF, LOG_HEAD_SEQ_OFF, MAXOPBLOCKS,
-};
+use xv6fs::layout::{DiskSuperblock, BSIZE, LOGSIZE, MAXOPBLOCKS};
+use xv6fs::loghdr::{self, LOG_HEAD_BLOCKS_OFF};
 
 pub use xv6fs::log::LogStats;
 
@@ -62,6 +65,7 @@ struct LogCounters {
     recoveries: StripedCounter,
     ops_committed: StripedCounter,
     barriers: StripedCounter,
+    overlapped_commits: StripedCounter,
 }
 
 #[derive(Debug, Default)]
@@ -129,6 +133,7 @@ impl VfsLog {
             recoveries: self.counters.recoveries.get(),
             ops_committed: self.counters.ops_committed.get(),
             barriers: self.counters.barriers.get(),
+            overlapped_commits: self.counters.overlapped_commits.get(),
         }
     }
 
@@ -323,6 +328,20 @@ impl VfsLog {
         }
     }
 
+    /// Closes the forming group for the committer's prefetch (see
+    /// [`xv6fs::log::Log`]): requires quiescence but ignores the in-flight
+    /// check — the caller *is* the in-flight commit.
+    fn take_group_for_overlap(
+        &self,
+        inner: &mut FormingGroup,
+    ) -> Option<(u64, Vec<LoggedBlock>, u64)> {
+        if self.outstanding.load(Ordering::SeqCst) == 0 {
+            self.take_group(inner)
+        } else {
+            None
+        }
+    }
+
     /// Closes the forming group and releases its slots immediately: a
     /// closed group owns its own on-disk region, so only the forming group
     /// counts against the reservation budget.
@@ -347,6 +366,12 @@ impl VfsLog {
         mut blocks: Vec<LoggedBlock>,
         mut ops: u64,
     ) -> KernelResult<()> {
+        // See xv6fs::log::Log::commit_group: `staged` marks a group whose
+        // stage-1 payload was prefetch-submitted; a prefetch-adopted group
+        // commits even after an earlier error (its sequence is assigned),
+        // with the first error returned at the end.
+        let mut staged = false;
+        let mut first_err: Option<simkernel::error::KernelError> = None;
         loop {
             {
                 let mut turn = self.commit_turn.lock();
@@ -354,52 +379,103 @@ impl VfsLog {
                     self.commit_cond.wait(&mut turn);
                 }
             }
-            let result = self.commit_io(cache, seq, &blocks);
+            let mut prefetched = None;
+            let result = self.commit_io(cache, seq, &blocks, staged, &mut prefetched);
             self.commits_done.fetch_add(1, Ordering::SeqCst);
             {
                 let mut turn = self.commit_turn.lock();
                 turn.next = seq + 1;
                 self.commit_cond.notify_all();
             }
-            if result.is_ok() {
-                self.counters.commits.inc();
-                self.counters.blocks_logged.add(blocks.len() as u64);
-                self.counters.ops_committed.add(ops);
+            match result {
+                Ok(()) => {
+                    self.counters.commits.inc();
+                    self.counters.blocks_logged.add(blocks.len() as u64);
+                    self.counters.ops_committed.add(ops);
+                    if staged {
+                        self.counters.overlapped_commits.inc();
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
             }
-            let next = {
-                let mut inner = self.inner.lock();
-                if result.is_err() {
-                    None
-                } else {
-                    self.take_group_if_ready(&mut inner)
+            let next = match prefetched {
+                Some(group) => Some(group),
+                None => {
+                    let mut inner = self.inner.lock();
+                    if first_err.is_some() {
+                        None
+                    } else {
+                        self.take_group_if_ready(&mut inner).map(|(s, b, o)| (s, b, o, false))
+                    }
                 }
             };
             match next {
-                Some((next_seq, next_blocks, next_ops)) => {
+                Some((next_seq, next_blocks, next_ops, next_staged)) => {
                     seq = next_seq;
                     blocks = next_blocks;
                     ops = next_ops;
+                    staged = next_staged;
                 }
-                None => return result,
+                None => {
+                    return match first_err {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    };
+                }
             }
         }
     }
 
-    fn commit_io(&self, cache: &BufferCache, seq: u64, blocks: &[LoggedBlock]) -> KernelResult<()> {
+    fn commit_io(
+        &self,
+        cache: &BufferCache,
+        seq: u64,
+        blocks: &[LoggedBlock],
+        staged: bool,
+        prefetched: &mut Option<(u64, Vec<LoggedBlock>, u64, bool)>,
+    ) -> KernelResult<()> {
         debug_assert!(blocks.len() <= self.capacity);
         let head_block = self.start + (seq % 2) * self.region_size as u64;
         // Log data blocks are only read back by recovery (fresh cache), so
-        // they bypass the buffer cache instead of evicting useful blocks.
-        for (i, block) in blocks.iter().enumerate() {
-            cache.device().write_block(head_block + 1 + i as u64, &block.data)?;
+        // they bypass the buffer cache instead of evicting useful blocks;
+        // on a queued device they are batch-submitted (a prefetch-staged
+        // group submitted them during the previous commit already).
+        if !staged {
+            self.submit_payload(cache, head_block, blocks)?;
         }
         // The payload must be durable before the commit record: without
         // this barrier the device's write cache may persist the
         // (checksummed, valid-looking) record first, and a crash then makes
-        // recovery install whatever the region held before.
+        // recovery install whatever the region held before.  On a queued
+        // device the barrier drains the submission queues too.
         self.barrier(cache)?;
         self.write_head(cache, head_block, seq, blocks)?;
         self.barrier(cache)?;
+        // Two-stage overlap (see xv6fs::log for the safety argument): with
+        // the record durable, prefetch the next ready group's payload so it
+        // is serviced while this group's installs run.
+        if let Some(q) = cache.device().as_queued() {
+            let adopted = {
+                let mut inner = self.inner.lock();
+                self.take_group_for_overlap(&mut inner)
+            };
+            if let Some((next_seq, next_blocks, next_ops)) = adopted {
+                let next_head = self.start + (next_seq % 2) * self.region_size as u64;
+                debug_assert_ne!(next_head, head_block, "consecutive groups alternate regions");
+                let queue = q.preferred_queue();
+                let writes: Vec<(u64, &[u8])> = next_blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, block)| (next_head + 1 + i as u64, block.data.as_slice()))
+                    .collect();
+                let submitted = q.submit_write_batch(queue, &writes).is_ok();
+                *prefetched = Some((next_seq, next_blocks, next_ops, submitted));
+            }
+        }
         for block in blocks {
             let mut buf = cache.bread(block.home)?;
             if buf.data() == block.data.as_slice() {
@@ -420,6 +496,33 @@ impl VfsLog {
         self.write_empty_head(cache, head_block, seq)
     }
 
+    /// Stage 1: the group's frozen blocks into its log region —
+    /// batch-submitted on a queued device, serial writes otherwise.
+    fn submit_payload(
+        &self,
+        cache: &BufferCache,
+        head_block: u64,
+        blocks: &[LoggedBlock],
+    ) -> KernelResult<()> {
+        match cache.device().as_queued() {
+            Some(q) => {
+                let queue = q.preferred_queue();
+                let writes: Vec<(u64, &[u8])> = blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, block)| (head_block + 1 + i as u64, block.data.as_slice()))
+                    .collect();
+                q.submit_write_batch(queue, &writes)?;
+            }
+            None => {
+                for (i, block) in blocks.iter().enumerate() {
+                    cache.device().write_block(head_block + 1 + i as u64, &block.data)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn barrier(&self, cache: &BufferCache) -> KernelResult<()> {
         cache.flush_device()?;
         self.counters.barriers.inc();
@@ -434,22 +537,13 @@ impl VfsLog {
         blocks: &[LoggedBlock],
     ) -> KernelResult<()> {
         let mut head = cache.bread(head_block)?;
-        put_u32(head.data_mut(), LOG_HEAD_COUNT_OFF, blocks.len() as u32);
-        put_u64(head.data_mut(), LOG_HEAD_SEQ_OFF, seq);
-        for (i, block) in blocks.iter().enumerate() {
-            put_u32(head.data_mut(), LOG_HEAD_BLOCKS_OFF + i * 4, block.home as u32);
-        }
-        let checksum = log_head_checksum(head.data());
-        put_u64(head.data_mut(), LOG_HEAD_CHECKSUM_OFF, checksum);
+        loghdr::encode_head(head.data_mut(), seq, blocks.iter().map(|b| b.home));
         head.write()
     }
 
     fn write_empty_head(&self, cache: &BufferCache, head_block: u64, seq: u64) -> KernelResult<()> {
         let mut head = cache.bread(head_block)?;
-        put_u32(head.data_mut(), LOG_HEAD_COUNT_OFF, 0);
-        put_u64(head.data_mut(), LOG_HEAD_SEQ_OFF, seq);
-        let checksum = log_head_checksum(head.data());
-        put_u64(head.data_mut(), LOG_HEAD_CHECKSUM_OFF, checksum);
+        loghdr::encode_clear(head.data_mut(), seq);
         head.write()
     }
 
@@ -464,24 +558,17 @@ impl VfsLog {
         for region in 0..2u64 {
             let head_block = self.start + region * self.region_size as u64;
             let head = cache.bread(head_block)?;
-            let n = get_u32(head.data(), LOG_HEAD_COUNT_OFF) as usize;
-            if n == 0 || n > self.capacity {
+            // parse_head rejects empty regions, over-capacity counts, and
+            // torn commit-record writes (the transaction never committed).
+            let Some(parsed) = loghdr::parse_head(head.data(), self.capacity) else {
                 continue;
-            }
-            if get_u64(head.data(), LOG_HEAD_CHECKSUM_OFF) != log_head_checksum(head.data()) {
-                // Torn commit-record write: the transaction never
-                // committed, so the region is clean.
-                continue;
-            }
-            let seq = get_u64(head.data(), LOG_HEAD_SEQ_OFF);
-            let homes: Vec<u64> =
-                (0..n).map(|i| get_u32(head.data(), LOG_HEAD_BLOCKS_OFF + i * 4) as u64).collect();
-            if homes.iter().any(|&h| h < self.home_range.0 || h >= self.home_range.1) {
+            };
+            if parsed.homes.iter().any(|&h| h < self.home_range.0 || h >= self.home_range.1) {
                 // Corrupt or foreign-format header: treat as clean rather
                 // than install over arbitrary blocks.
                 continue;
             }
-            committed.push((seq, head_block, homes));
+            committed.push((parsed.seq, head_block, parsed.homes));
         }
         if committed.is_empty() {
             return Ok(0);
@@ -515,7 +602,10 @@ mod tests {
     use super::*;
     use simkernel::dev::RamDisk;
     use std::sync::Arc;
-    use xv6fs::layout::FSMAGIC;
+    use xv6fs::layout::{
+        log_head_checksum, put_u32, put_u64, FSMAGIC, LOG_HEAD_CHECKSUM_OFF, LOG_HEAD_COUNT_OFF,
+        LOG_HEAD_SEQ_OFF,
+    };
 
     fn setup() -> (BufferCache, VfsLog) {
         let cache = BufferCache::new(Arc::new(RamDisk::new(4096, 1024)), 256);
@@ -583,5 +673,77 @@ mod tests {
             assert_eq!(raw[0], 0x77, "region {region}");
             assert_eq!(log.recover(&cache).unwrap(), 0, "region {region}");
         }
+    }
+
+    /// Same deterministic two-thread overlap scenario as the xv6fs
+    /// integration test (`tests/two_stage_overlap.rs`), on the VFS log: a
+    /// committer dwelling in a slow record barrier prefetches the group
+    /// the main thread staged meanwhile.
+    #[test]
+    fn queued_device_overlaps_consecutive_commits() {
+        use simkernel::cost::CostModel;
+        use simkernel::queue::{MultiQueueDevice, QueueConfig};
+        use std::time::{Duration, Instant};
+
+        let attempt = || -> bool {
+            let mut model = CostModel::zero();
+            model.flush_base_ns = 25_000_000;
+            model.inject_delays = true;
+            let mqd = Arc::new(MultiQueueDevice::new(
+                Arc::new(RamDisk::new(4096, 1024)),
+                model,
+                QueueConfig::new(2, 8),
+            ));
+            let cache = Arc::new(BufferCache::new(mqd, 256));
+            let sb = DiskSuperblock {
+                magic: FSMAGIC,
+                size: 1024,
+                nblocks: 700,
+                ninodes: 64,
+                nlog: LOGSIZE as u32,
+                logstart: 2,
+                inodestart: 2 + LOGSIZE as u32,
+                bmapstart: 2 + LOGSIZE as u32 + 2,
+            };
+            let log = Arc::new(VfsLog::new(&sb));
+            let write_one = |cache: &BufferCache, log: &VfsLog, blockno: u64, fill: u8| {
+                log.begin_op();
+                {
+                    let mut b = cache.bread(blockno).unwrap();
+                    b.data_mut().fill(fill);
+                    log.log_write(&b).unwrap();
+                }
+                log.end_op(cache).unwrap();
+            };
+            let base = log.stats().barriers;
+            let t = {
+                let cache = Arc::clone(&cache);
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || write_one(&cache, &log, 900, 0xAA))
+            };
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while log.stats().barriers < base + 1 {
+                assert!(Instant::now() < deadline, "first commit never hit its payload barrier");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            write_one(&cache, &log, 901, 0xBB);
+            t.join().unwrap();
+
+            let stats = log.stats();
+            assert_eq!(stats.commits, 2);
+            assert_eq!(stats.barriers, stats.commits * 3, "overlap must not add barriers");
+            for (blockno, fill) in [(900u64, 0xAAu8), (901, 0xBB)] {
+                let mut raw = vec![0u8; 4096];
+                cache.device().read_block(blockno, &mut raw).unwrap();
+                assert!(raw.iter().all(|&b| b == fill), "block {blockno} lost data");
+            }
+            stats.overlapped_commits >= 1
+        };
+        for _ in 0..5 {
+            if attempt() {
+                return;
+            }
+        }
+        panic!("no overlapped commit observed in 5 attempts");
     }
 }

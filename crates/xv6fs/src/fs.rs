@@ -101,6 +101,10 @@ impl Xv6FileSystem {
                 log_blocks: log.blocks_logged,
                 log_barriers: log.barriers,
                 alloc_per_group: c.alloc.allocations_per_group(),
+                // Queue-depth statistics come from the mounted device's cost
+                // counters, which the file system cannot see (it holds no
+                // SuperBlock); the framework layer (BentoFs) enriches them.
+                ..WritePathStats::default()
             }
         })
     }
@@ -751,6 +755,7 @@ impl FileSystem for Xv6FileSystem {
             bundle.put("log_recoveries", &log_stats.recoveries)?;
             bundle.put("log_ops", &log_stats.ops_committed)?;
             bundle.put("log_barriers", &log_stats.barriers)?;
+            bundle.put("log_overlapped", &log_stats.overlapped_commits)?;
             let mut opens: Vec<(u32, u32)> = Vec::new();
             core.opens.for_each(|k, v| opens.push((*k, *v)));
             bundle.put("open_files", &opens)?;
@@ -780,6 +785,7 @@ impl FileSystem for Xv6FileSystem {
                 recoveries: state.get_opt("log_recoveries")?.unwrap_or(0),
                 ops_committed: state.get_opt("log_ops")?.unwrap_or(0),
                 barriers: state.get_opt("log_barriers")?.unwrap_or(0),
+                overlapped_commits: state.get_opt("log_overlapped")?.unwrap_or(0),
             });
             if let Some(opens) = state.get_opt::<Vec<(u32, u32)>>("open_files")? {
                 for (inum, count) in opens {

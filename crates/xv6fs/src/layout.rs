@@ -59,35 +59,13 @@ pub const MAXOPBLOCKS: usize = 64;
 /// worst-case operations.
 pub const LOGSIZE: usize = 2 * (4 * MAXOPBLOCKS + 1);
 
-/// Byte offset of the logged-block count in a log-region header.
-pub const LOG_HEAD_COUNT_OFF: usize = 0;
-
-/// Byte offset of the commit sequence number (`u64`) in a log-region
-/// header.  Recovery uses it to replay regions in commit order.
-pub const LOG_HEAD_SEQ_OFF: usize = 8;
-
-/// Byte offset of the header self-checksum (`u64`, FNV-1a over count, seq,
-/// and the home-block list).  A commit-record write is eight sector writes
-/// on a real device; the checksum lets recovery reject a header whose
-/// sectors only partially reached the platter instead of installing log
-/// blocks to a half-stale home list.
-pub const LOG_HEAD_CHECKSUM_OFF: usize = 16;
-
-/// Byte offset of the first logged home block number in a log-region
-/// header; entries are consecutive `u32`s.
-pub const LOG_HEAD_BLOCKS_OFF: usize = 24;
-
-/// Computes the self-checksum a log-region header should carry: FNV-1a
-/// over the count and sequence fields plus the `count` home-block entries
-/// (the checksum field itself is excluded).  A garbage count is clamped to
-/// the block so the function never panics on corrupt input.
-pub fn log_head_checksum(head: &[u8]) -> u64 {
-    let count = (get_u32(head, LOG_HEAD_COUNT_OFF) as usize).min((BSIZE - LOG_HEAD_BLOCKS_OFF) / 4);
-    let mut h = simkernel::hash::Fnv1a64::new();
-    h.update(&head[..LOG_HEAD_CHECKSUM_OFF]);
-    h.update(&head[LOG_HEAD_BLOCKS_OFF..LOG_HEAD_BLOCKS_OFF + 4 * count]);
-    h.finish()
-}
+// The commit-record (log-region header) layout lives in [`crate::loghdr`]
+// — one module shared by both write-ahead logs — and is re-exported here
+// for existing importers.
+pub use crate::loghdr::{
+    log_head_checksum, LOG_HEAD_BLOCKS_OFF, LOG_HEAD_CHECKSUM_OFF, LOG_HEAD_COUNT_OFF,
+    LOG_HEAD_SEQ_OFF,
+};
 
 /// Inode number of the root directory.
 pub const ROOT_INO: u32 = 1;

@@ -39,6 +39,25 @@
 //!   operations, and copies nothing until its own turn.  Commits install in
 //!   formation order (a sequence number in each region header keeps
 //!   [`Log::recover`] correct for either region).
+//! * **Two-stage overlapped commit (queued devices).**  When the mounted
+//!   device exposes a multi-queue face
+//!   ([`simkernel::queue::QueuedBlockDevice`], via `SuperBlock::queued`),
+//!   stage 1 — the log-region payload copies — is *batch-submitted* instead
+//!   of written serially, and the committer prefetches: right after group
+//!   *N*'s commit record is durable (the record barrier), it closes group
+//!   *N + 1* if one is ready and submits its stage-1 payload, so those
+//!   copies are serviced by the device *while group N's installs are still
+//!   completing*.  The barrier count per commit is unchanged (payload,
+//!   record, install — the payload barrier of a prefetched group simply
+//!   finds its writes already submitted) and the ordering contract
+//!   payload→FLUSH→record→FLUSH→install→FLUSH is intact: a prefetched
+//!   group's payload lands in the same barrier epoch as the previous
+//!   group's installs (disjoint blocks — different log region, and installs
+//!   target home locations), while its record still waits for its own
+//!   payload barrier.  Prefetching *after* the record barrier is what makes
+//!   region reuse safe: group *N + 1* overwrites the region of group
+//!   *N − 1*, whose header clear (left unflushed by `commit_io`)
+//!   became durable at the latest with group *N*'s payload barrier.
 //!
 //! Because commits write the *frozen* bytes — both into the log area and,
 //! on conflict, directly to the home location via
@@ -65,10 +84,10 @@ use bento::bentoks::{BufferHead, SuperBlock};
 use simkernel::error::{Errno, KernelError, KernelResult};
 use simkernel::shard::StripedCounter;
 
-use crate::layout::{
-    get_u32, get_u64, log_head_checksum, put_u32, put_u64, DiskSuperblock, BSIZE, LOGSIZE,
-    LOG_HEAD_BLOCKS_OFF, LOG_HEAD_CHECKSUM_OFF, LOG_HEAD_COUNT_OFF, LOG_HEAD_SEQ_OFF, MAXOPBLOCKS,
-};
+use simkernel::queue::QueuedBlockDevice;
+
+use crate::layout::{DiskSuperblock, BSIZE, LOGSIZE, MAXOPBLOCKS};
+use crate::loghdr::{self, LOG_HEAD_BLOCKS_OFF};
 
 /// Test-only crash-safety hook: when set, commits write the commit record
 /// and its barrier *before* the log payload — the unsafe ordering the
@@ -84,6 +103,18 @@ use crate::layout::{
 /// `crashsim`'s dedicated planted-bug test process touches it.
 #[doc(hidden)]
 pub static TEST_UNSAFE_EARLY_COMMIT_RECORD: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Test-only crash-safety hook for the *queued* commit path: when set, the
+/// commit record is written without waiting for the payload barrier — the
+/// payload submissions and the record land in the same barrier epoch, so a
+/// device that reorders within an epoch can persist the record before the
+/// payload.  The `crashsim` harness plants this bug to prove its
+/// within-epoch reorder enumeration catches exactly this class of
+/// violation on the multi-queue device.  Same non-feature-gate rationale as
+/// [`TEST_UNSAFE_EARLY_COMMIT_RECORD`].  Never enable outside tests.
+#[doc(hidden)]
+pub static TEST_UNSAFE_RECORD_WITHOUT_PAYLOAD_BARRIER: std::sync::atomic::AtomicBool =
     std::sync::atomic::AtomicBool::new(false);
 
 /// One logged block: home address, modification version (orders snapshots
@@ -140,6 +171,10 @@ pub struct LogStats {
     pub ops_committed: u64,
     /// Device barriers issued by commits and recovery.
     pub barriers: u64,
+    /// Commits whose stage-1 payload was prefetch-submitted while the
+    /// previous group's installs were still completing (two-stage overlap
+    /// on a queued device).  Always 0 on a synchronous device.
+    pub overlapped_commits: u64,
 }
 
 /// Striped hot-path counters behind [`LogStats`].
@@ -150,6 +185,7 @@ struct LogCounters {
     recoveries: StripedCounter,
     ops_committed: StripedCounter,
     barriers: StripedCounter,
+    overlapped_commits: StripedCounter,
 }
 
 impl LogCounters {
@@ -160,6 +196,7 @@ impl LogCounters {
             recoveries: self.recoveries.get(),
             ops_committed: self.ops_committed.get(),
             barriers: self.barriers.get(),
+            overlapped_commits: self.overlapped_commits.get(),
         }
     }
 
@@ -169,6 +206,7 @@ impl LogCounters {
         self.recoveries.reset(stats.recoveries);
         self.ops_committed.reset(stats.ops_committed);
         self.barriers.reset(stats.barriers);
+        self.overlapped_commits.reset(stats.overlapped_commits);
     }
 }
 
@@ -479,6 +517,25 @@ impl Log {
         }
     }
 
+    /// Closes the forming group for the committer's *prefetch*: called by
+    /// the thread that is itself mid-commit, right after its record
+    /// barrier, to start the next group's stage-1 payload early.  Requires
+    /// quiescence (same entanglement argument as
+    /// [`Log::take_group_if_ready`]) but deliberately ignores the
+    /// in-flight check — the caller *is* the in-flight commit, and the
+    /// turn ticket it already holds orders the adopted group right behind
+    /// it.
+    fn take_group_for_overlap(
+        &self,
+        inner: &mut FormingGroup,
+    ) -> Option<(u64, Vec<LoggedBlock>, u64)> {
+        if self.outstanding.load(Ordering::SeqCst) == 0 {
+            self.take_group(inner)
+        } else {
+            None
+        }
+    }
+
     /// Closes the forming group, assigning its commit sequence (and thus
     /// its region).  The group's slots are released immediately: a closed
     /// group owns its own on-disk region, so only the *forming* group
@@ -500,7 +557,8 @@ impl Log {
 
     /// Commits closed groups in formation order, then adopts the next group
     /// if it became ready while this one was committing (the pipelined
-    /// handoff).
+    /// handoff) — or the group [`Log::commit_io`] already prefetch-staged
+    /// on a queued device (the two-stage overlap).
     fn commit_group(
         &self,
         sb: &SuperBlock,
@@ -508,6 +566,14 @@ impl Log {
         mut blocks: Vec<LoggedBlock>,
         mut ops: u64,
     ) -> KernelResult<()> {
+        // Whether `blocks`' stage-1 payload was already submitted to the
+        // queued device by the previous iteration's prefetch.
+        let mut staged = false;
+        // A prefetch-adopted group must still be committed even if an
+        // earlier iteration's I/O failed: its sequence is assigned, and
+        // abandoning it would strand every flush() waiting on the turn.
+        // The first error is remembered and returned at the end.
+        let mut first_err: Option<KernelError> = None;
         loop {
             {
                 let mut turn = self.commit_turn.lock();
@@ -515,7 +581,8 @@ impl Log {
                     self.commit_cond.wait(&mut turn);
                 }
             }
-            let result = self.commit_io(sb, seq, &blocks);
+            let mut prefetched = None;
+            let result = self.commit_io(sb, seq, &blocks, staged, &mut prefetched);
             // Advance the pipeline even if the commit I/O failed, so
             // waiters are never stranded.  The completion count rises
             // *before* the handoff check below, so an end_op that observed
@@ -527,35 +594,73 @@ impl Log {
                 turn.next = seq + 1;
                 self.commit_cond.notify_all();
             }
-            if result.is_ok() {
-                self.counters.commits.inc();
-                self.counters.blocks_logged.add(blocks.len() as u64);
-                self.counters.ops_committed.add(ops);
+            match result {
+                Ok(()) => {
+                    self.counters.commits.inc();
+                    self.counters.blocks_logged.add(blocks.len() as u64);
+                    self.counters.ops_committed.add(ops);
+                    if staged {
+                        self.counters.overlapped_commits.inc();
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
             }
-            let next = {
-                let mut inner = self.inner.lock();
-                if result.is_err() {
-                    None
-                } else {
-                    self.take_group_if_ready(&mut inner)
+            let next = match prefetched {
+                // The prefetched group is committed regardless of errors
+                // (its seq is assigned); `staged` may be false if its
+                // payload submission failed — commit_io then rewrites the
+                // payload, which is idempotent.
+                Some(group) => Some(group),
+                None => {
+                    let mut inner = self.inner.lock();
+                    if first_err.is_some() {
+                        None
+                    } else {
+                        self.take_group_if_ready(&mut inner).map(|(s, b, o)| (s, b, o, false))
+                    }
                 }
             };
             match next {
-                Some((next_seq, next_blocks, next_ops)) => {
+                Some((next_seq, next_blocks, next_ops, next_staged)) => {
                     seq = next_seq;
                     blocks = next_blocks;
                     ops = next_ops;
+                    staged = next_staged;
                 }
-                None => return result,
+                None => {
+                    return match first_err {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    };
+                }
             }
         }
     }
 
     /// The commit I/O: copy frozen blocks to this group's region, barrier,
     /// commit record, barrier, install, clear, barrier.
-    fn commit_io(&self, sb: &SuperBlock, seq: u64, blocks: &[LoggedBlock]) -> KernelResult<()> {
+    ///
+    /// On a queued device the payload copies are batch-submitted (stage 1),
+    /// and right after the record barrier the committer tries to *prefetch*
+    /// the next group: close it and submit its stage-1 payload, handing it
+    /// back via `prefetched` so its copies are serviced while this group's
+    /// installs run.  `staged` marks a group whose payload was already
+    /// submitted that way.
+    fn commit_io(
+        &self,
+        sb: &SuperBlock,
+        seq: u64,
+        blocks: &[LoggedBlock],
+        staged: bool,
+        prefetched: &mut Option<(u64, Vec<LoggedBlock>, u64, bool)>,
+    ) -> KernelResult<()> {
         debug_assert!(blocks.len() <= self.capacity);
         let head_block = self.region_head(seq);
+        let queued = sb.queued();
         if TEST_UNSAFE_EARLY_COMMIT_RECORD.load(Ordering::Relaxed) {
             // Planted ordering bug (see the hook's docs): record first,
             // then the payload — a crash in between leaves a valid commit
@@ -566,21 +671,57 @@ impl Log {
                 sb.write_raw(head_block + 1 + i as u64, &block.data)?;
             }
             self.barrier(sb)?;
+        } else if TEST_UNSAFE_RECORD_WITHOUT_PAYLOAD_BARRIER.load(Ordering::Relaxed) {
+            // Planted ordering bug for the queued path (see the hook's
+            // docs): payload submitted but the record does not wait for the
+            // payload barrier, so both land in one barrier epoch and the
+            // device may persist the record first.
+            if !staged {
+                self.submit_payload(sb, queued, head_block, blocks)?;
+            }
+            self.write_head(sb, head_block, seq, blocks)?;
+            self.barrier(sb)?;
         } else {
             // 1. Frozen copies into the region's data blocks.  Written raw:
             // log data blocks are only ever read back by recovery (on a
             // fresh cache), so going through the buffer cache would just
-            // evict useful blocks once per commit.  The barrier orders the
-            // payload before the commit record — without it the device's
-            // write cache may persist the record first, and a crash then
-            // makes recovery install whatever the region held before.
-            for (i, block) in blocks.iter().enumerate() {
-                sb.write_raw(head_block + 1 + i as u64, &block.data)?;
+            // evict useful blocks once per commit.  On a queued device the
+            // copies are batch-submitted; a prefetch-staged group submitted
+            // them during the previous commit already.  The barrier orders
+            // the payload before the commit record — without it the
+            // device's write cache may persist the record first, and a
+            // crash then makes recovery install whatever the region held
+            // before.  (On the queued device the barrier also drains the
+            // submission queues, so it covers batched payload writes
+            // exactly as it covers synchronous ones.)
+            if !staged {
+                self.submit_payload(sb, queued, head_block, blocks)?;
             }
             self.barrier(sb)?;
             // 2. Commit record.
             self.write_head(sb, head_block, seq, blocks)?;
             self.barrier(sb)?;
+        }
+        // Two-stage overlap: with this group's record durable, the next
+        // group (if one is ready) may start its stage-1 payload copies now,
+        // overlapping them with this group's installs below.  This is the
+        // earliest safe point — the next group reuses the region of group
+        // `seq - 1`, whose unflushed header clear became durable at the
+        // latest with this group's payload barrier.
+        if let Some(q) = queued {
+            let adopted = {
+                let mut inner = self.inner.lock();
+                self.take_group_for_overlap(&mut inner)
+            };
+            if let Some((next_seq, next_blocks, next_ops)) = adopted {
+                let next_head = self.region_head(next_seq);
+                debug_assert_ne!(next_head, head_block, "consecutive groups alternate regions");
+                let submitted = self.submit_payload(sb, Some(q), next_head, &next_blocks).is_ok();
+                // On a failed submission the group is still adopted (its
+                // seq is assigned) but unstaged: the next commit_io
+                // rewrites the payload from scratch, which is idempotent.
+                *prefetched = Some((next_seq, next_blocks, next_ops, submitted));
+            }
         }
         // 3. Install to home locations.
         for block in blocks {
@@ -599,7 +740,10 @@ impl Log {
         }
         // The installs must be durable before the header clear can be: a
         // write cache that persisted the clear but not the installs would
-        // silently lose a committed transaction.
+        // silently lose a committed transaction.  On the queued device this
+        // barrier also completes the prefetched payload submitted above —
+        // which is fine: that payload only needs to be durable before *its
+        // own* commit record, and this barrier is earlier.
         self.barrier(sb)?;
         // 4. Clear the header.  Deliberately *not* flushed here: the next
         // barrier anywhere (the following commit's payload barrier, an
@@ -608,6 +752,36 @@ impl Log {
         // reused two commits later, by which point at least one barrier
         // has passed, so a stale header can never alias a reused region.
         self.write_empty_head(sb, head_block, seq)
+    }
+
+    /// Stage 1: writes the group's frozen blocks into its log region —
+    /// batch-submitted without waiting on a queued device (the following
+    /// barrier, or any earlier one, completes them), serial raw writes
+    /// otherwise.
+    fn submit_payload(
+        &self,
+        sb: &SuperBlock,
+        queued: Option<&dyn QueuedBlockDevice>,
+        head_block: u64,
+        blocks: &[LoggedBlock],
+    ) -> KernelResult<()> {
+        match queued {
+            Some(q) => {
+                let queue = q.preferred_queue();
+                let writes: Vec<(u64, &[u8])> = blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, block)| (head_block + 1 + i as u64, block.data.as_slice()))
+                    .collect();
+                q.submit_write_batch(queue, &writes)?;
+            }
+            None => {
+                for (i, block) in blocks.iter().enumerate() {
+                    sb.write_raw(head_block + 1 + i as u64, &block.data)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     fn barrier(&self, sb: &SuperBlock) -> KernelResult<()> {
@@ -629,25 +803,14 @@ impl Log {
         blocks: &[LoggedBlock],
     ) -> KernelResult<()> {
         let mut head = sb.bread(head_block)?;
-        let data = head.data_mut();
-        put_u32(data, LOG_HEAD_COUNT_OFF, blocks.len() as u32);
-        put_u64(data, LOG_HEAD_SEQ_OFF, seq);
-        for (i, block) in blocks.iter().enumerate() {
-            put_u32(data, LOG_HEAD_BLOCKS_OFF + i * 4, block.home as u32);
-        }
-        let checksum = log_head_checksum(data);
-        put_u64(data, LOG_HEAD_CHECKSUM_OFF, checksum);
+        loghdr::encode_head(head.data_mut(), seq, blocks.iter().map(|b| b.home));
         head.write()?;
         Ok(())
     }
 
     fn write_empty_head(&self, sb: &SuperBlock, head_block: u64, seq: u64) -> KernelResult<()> {
         let mut head = sb.bread(head_block)?;
-        let data = head.data_mut();
-        put_u32(data, LOG_HEAD_COUNT_OFF, 0);
-        put_u64(data, LOG_HEAD_SEQ_OFF, seq);
-        let checksum = log_head_checksum(data);
-        put_u64(data, LOG_HEAD_CHECKSUM_OFF, checksum);
+        loghdr::encode_clear(head.data_mut(), seq);
         head.write()?;
         Ok(())
     }
@@ -664,26 +827,20 @@ impl Log {
         for region in 0..2u64 {
             let head_block = self.start + region * self.region_size as u64;
             let head = sb.bread(head_block)?;
-            let n = get_u32(head.data(), LOG_HEAD_COUNT_OFF) as usize;
-            if n == 0 || n > self.capacity {
+            // parse_head rejects empty regions, over-capacity counts, and
+            // torn commit-record writes (checksum mismatch: only some of
+            // the header's sectors reached the device — the transaction
+            // never committed, so the region is clean).
+            let Some(parsed) = loghdr::parse_head(head.data(), self.capacity) else {
                 continue;
-            }
-            if get_u64(head.data(), LOG_HEAD_CHECKSUM_OFF) != log_head_checksum(head.data()) {
-                // A torn commit-record write (only some of the header's
-                // sectors reached the device before the crash): the
-                // transaction never committed, so the region is clean.
-                continue;
-            }
-            let seq = get_u64(head.data(), LOG_HEAD_SEQ_OFF);
-            let homes: Vec<u64> =
-                (0..n).map(|i| get_u32(head.data(), LOG_HEAD_BLOCKS_OFF + i * 4) as u64).collect();
-            if homes.iter().any(|&h| h < self.home_range.0 || h >= self.home_range.1) {
+            };
+            if parsed.homes.iter().any(|&h| h < self.home_range.0 || h >= self.home_range.1) {
                 // Not a header this format wrote (corruption, or an image
                 // from before the double-buffered layout): treating it as
                 // clean beats installing over arbitrary blocks.
                 continue;
             }
-            committed.push((seq, head_block, homes));
+            committed.push((parsed.seq, head_block, parsed.homes));
         }
         if committed.is_empty() {
             return Ok(0);
@@ -724,6 +881,10 @@ impl Log {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layout::{
+        get_u32, get_u64, log_head_checksum, put_u32, put_u64, LOG_HEAD_CHECKSUM_OFF,
+        LOG_HEAD_COUNT_OFF, LOG_HEAD_SEQ_OFF,
+    };
     use bento::bentoks::{KernelBlockIo, SuperBlock};
     use simkernel::dev::RamDisk;
     use std::sync::Arc;

@@ -108,7 +108,7 @@ fn ssd_cost_model_accounts_for_xv6_log_traffic() {
     let kernel = mount_stack(FsStack::BentoXv6, model.clone(), 16 * 1024).expect("bento");
     let fd = kernel.vfs.open("/f", OpenFlags::WRONLY.with(OpenFlags::CREAT)).expect("create");
     kernel.vfs.close(fd).expect("close");
-    let snap = kernel.device.counters().snapshot();
+    let snap = kernel.device.stats();
     assert!(snap.writes >= 4, "a create commits several blocks, saw {}", snap.writes);
     assert!(snap.flushes >= 1, "a commit issues at least one barrier");
     kernel.unmount().expect("unmount");
