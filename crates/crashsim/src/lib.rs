@@ -54,6 +54,7 @@
 pub mod device;
 pub mod enumerate;
 pub mod harness;
+pub mod logharness;
 pub mod model;
 
 pub use device::{

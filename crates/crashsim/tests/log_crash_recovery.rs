@@ -1,100 +1,78 @@
-//! Crash-recovery property tests for the pipelined, double-buffered xv6
-//! log, ported from `crates/xv6fs/tests/log_crash_recovery.rs` onto the
-//! crashsim subsystem: the hand-rolled recording device became
-//! [`FaultDevice`], and the hand-rolled prefix replay became
-//! [`prefix_states`] — which also checks strictly more states (every write
-//! boundary, not only barrier points) and layers the fsck oracle on top.
+//! Crash-recovery property tests for the shared pipelined, double-buffered
+//! write-ahead log, run through the journal-generic harness
+//! ([`crashsim::logharness`]): the same two-transaction scenario and the
+//! same all-or-nothing, commit-ordered oracles apply to **every** log
+//! stack — the bare `journal::Journal`, the Bento stack's log, and the VFS
+//! baseline's log — so a stack cannot drift out of the crash contract
+//! without this test failing by name.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use bento::bentoks::KernelBlockIo;
-use bento::userspace::userspace_superblock;
+use crashsim::logharness::all_stacks;
 use crashsim::{prefix_states, DiskImage, FaultConfig, FaultDevice};
 use simkernel::dev::{BlockDevice, RamDisk};
 use simkernel::vfs::{FileMode, VfsFs as _};
-use xv6fs::layout::{DiskSuperblock, BSIZE, FSMAGIC, LOGSIZE};
-use xv6fs::log::Log;
-
-fn test_dsb(size: u32) -> DiskSuperblock {
-    DiskSuperblock {
-        magic: FSMAGIC,
-        size,
-        nblocks: 400,
-        ninodes: 64,
-        nlog: LOGSIZE as u32,
-        logstart: 2,
-        inodestart: 2 + LOGSIZE as u32,
-        bmapstart: 2 + LOGSIZE as u32 + 2,
-    }
-}
-
-fn block_fill(dev: &Arc<dyn BlockDevice>, blockno: u64) -> u8 {
-    let mut buf = vec![0u8; BSIZE];
-    dev.read_block(blockno, &mut buf).unwrap();
-    buf[0]
-}
+use xv6fs::layout::BSIZE;
 
 /// Two committed transactions (one per log region) modifying overlapping
 /// blocks; a crash at *every* write prefix must recover to an all-or-
-/// nothing, commit-ordered state.
+/// nothing, commit-ordered state — on every stack.
 #[test]
-fn every_write_prefix_crash_recovers_atomically_across_both_regions() {
+fn every_write_prefix_crash_recovers_atomically_on_every_stack() {
     const DISK_BLOCKS: u64 = 1024;
-    let dsb = test_dsb(DISK_BLOCKS as u32);
-    let base: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(BSIZE as u32, DISK_BLOCKS));
-    let image = Arc::new(DiskImage::capture(&base).unwrap());
-    let recorder = Arc::new(FaultDevice::new(base, FaultConfig::recorder(0)));
-    {
-        let sb = userspace_superblock(
-            Arc::new(KernelBlockIo::new(Arc::clone(&recorder) as Arc<dyn BlockDevice>, 512)),
-            "recorder",
-        );
-        let log = Log::new(&dsb);
-        // tx1 -> region 0: blocks 900 and 901.
-        log.begin_op();
-        for (blockno, fill) in [(900u64, 0xA1u8), (901, 0xA2)] {
-            let mut buf = sb.bread(blockno).unwrap();
-            buf.data_mut().fill(fill);
-            log.log_write(&buf).unwrap();
+    for stack in all_stacks() {
+        let name = stack.name();
+        let base: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(BSIZE as u32, DISK_BLOCKS));
+        let image = Arc::new(DiskImage::capture(&base).unwrap());
+        let recorder = Arc::new(FaultDevice::new(base, FaultConfig::recorder(0)));
+        {
+            let log = stack.open(Arc::clone(&recorder) as Arc<dyn BlockDevice>, DISK_BLOCKS as u32);
+            // tx1 -> region 0: blocks 900 and 901.
+            log.begin_op();
+            log.log_fill(900, 0xA1).unwrap();
+            log.log_fill(901, 0xA2).unwrap();
+            log.end_op().unwrap();
+            // tx2 -> region 1: block 900 again (conflict) and block 902.
+            log.begin_op();
+            log.log_fill(900, 0xB1).unwrap();
+            log.log_fill(902, 0xB2).unwrap();
+            log.end_op().unwrap();
         }
-        log.end_op(&sb).unwrap();
-        // tx2 -> region 1: block 900 again (conflict) and block 902.
-        log.begin_op();
-        for (blockno, fill) in [(900u64, 0xB1u8), (902, 0xB2)] {
-            let mut buf = sb.bread(blockno).unwrap();
-            buf.data_mut().fill(fill);
-            log.log_write(&buf).unwrap();
-        }
-        log.end_op(&sb).unwrap();
-    }
-    let trace = recorder.trace();
-    assert_eq!(trace.flush_count(), 6, "two commits, three barriers each");
+        let trace = recorder.trace();
+        assert_eq!(trace.flush_count(), 6, "{name}: two commits, three barriers each");
 
-    for state in prefix_states(&trace, &image) {
-        let disk: Arc<dyn BlockDevice> = Arc::clone(&state.disk) as Arc<dyn BlockDevice>;
-        let sb =
-            userspace_superblock(Arc::new(KernelBlockIo::new(Arc::clone(&disk), 512)), "crashed");
-        let log = Log::new(&dsb);
-        log.recover(&sb).unwrap();
-        // Second recovery must be a no-op (headers cleared).
-        assert_eq!(log.recover(&sb).unwrap(), 0, "{}", state.description);
-        drop(sb);
+        for state in prefix_states(&trace, &image) {
+            let disk: Arc<dyn BlockDevice> = Arc::clone(&state.disk) as Arc<dyn BlockDevice>;
+            // Reboot: a fresh mount (fresh cache, fresh log state) runs
+            // recovery.
+            let log = stack.open(Arc::clone(&disk), DISK_BLOCKS as u32);
+            log.recover().unwrap();
+            // Second recovery must be a no-op (headers cleared).
+            assert_eq!(log.recover().unwrap(), 0, "{name}: {}", state.description);
 
-        let b900 = block_fill(&disk, 900);
-        let b901 = block_fill(&disk, 901);
-        let b902 = block_fill(&disk, 902);
-        let tx2_applied = b902 == 0xB2;
-        let tx1_applied = b901 == 0xA2;
-        let state = &state.description;
-        if tx2_applied {
-            assert!(tx1_applied, "{state}: tx2 visible without tx1 (commit order broken)");
-            assert_eq!(b900, 0xB1, "{state}: tx2 partially applied");
-        } else if tx1_applied {
-            assert_eq!(b900, 0xA1, "{state}: tx1 partially applied");
-            assert_eq!(b902, 0x00, "{state}: tx2 leaked without committing");
-        } else {
-            assert_eq!((b900, b901, b902), (0, 0, 0), "{state}: partial transaction visible");
+            let b900 = log.read_block(900).unwrap()[0];
+            let b901 = log.read_block(901).unwrap()[0];
+            let b902 = log.read_block(902).unwrap()[0];
+            let tx2_applied = b902 == 0xB2;
+            let tx1_applied = b901 == 0xA2;
+            let state = &state.description;
+            if tx2_applied {
+                assert!(
+                    tx1_applied,
+                    "{name}: {state}: tx2 visible without tx1 (commit order broken)"
+                );
+                assert_eq!(b900, 0xB1, "{name}: {state}: tx2 partially applied");
+            } else if tx1_applied {
+                assert_eq!(b900, 0xA1, "{name}: {state}: tx1 partially applied");
+                assert_eq!(b902, 0x00, "{name}: {state}: tx2 leaked without committing");
+            } else {
+                assert_eq!(
+                    (b900, b901, b902),
+                    (0, 0, 0),
+                    "{name}: {state}: partial transaction visible"
+                );
+            }
         }
     }
 }

@@ -49,9 +49,9 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
+use journal::checkpoint::DualSlotCheckpoint;
 use simkernel::dev::BlockDevice;
 use simkernel::error::{Errno, KernelError, KernelResult};
-use simkernel::hash::fnv1a64;
 use simkernel::vfs::{
     DirEntry, FileMode, FileType, FilesystemType, InodeAttr, MountOptions, OpenFlags, SetAttr,
     StatFs, VfsFs, PAGE_SIZE,
@@ -73,6 +73,17 @@ const METADATA_BLOCKS: u64 = 2048;
 const CHECKPOINT_SLOT_BLOCKS: u64 = METADATA_BLOCKS / 2;
 /// Identifies a checkpoint slot header.
 const CHECKPOINT_MAGIC: u64 = 0x6578_7434_7369_6d21;
+
+/// The dual-slot checkpoint layout, shared with the other stacks' journal
+/// crate: slot geometry, header byte layout, and torn-slot rejection live
+/// in [`DualSlotCheckpoint`]; ext4sim keeps the body serialization and the
+/// sequence management.  The on-disk format is unchanged.
+const CHECKPOINT: DualSlotCheckpoint = DualSlotCheckpoint {
+    area_start: JOURNAL_START + JOURNAL_BLOCKS,
+    slot_blocks: CHECKPOINT_SLOT_BLOCKS,
+    block_size: PAGE_SIZE,
+    magic: CHECKPOINT_MAGIC,
+};
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Ext4Inode {
@@ -237,32 +248,12 @@ impl Ext4Sim {
         device: &Arc<dyn BlockDevice>,
         slot: u64,
     ) -> KernelResult<Option<(u64, Metadata)>> {
-        let slot_start = JOURNAL_START + JOURNAL_BLOCKS + slot * CHECKPOINT_SLOT_BLOCKS;
-        let mut header = vec![0u8; PAGE_SIZE];
-        device.read_block(slot_start, &mut header)?;
-        let field =
-            |i: usize| u64::from_le_bytes(header[i * 8..(i + 1) * 8].try_into().expect("u64"));
-        if field(0) != CHECKPOINT_MAGIC {
+        // Slot geometry and torn-slot rejection (checksum mismatch: the
+        // header persisted but part of the body did not, or vice versa —
+        // the other slot is authoritative) live in the shared layout.
+        let Some((seq, raw)) = CHECKPOINT.load_slot(&**device, slot)? else {
             return Ok(None);
-        }
-        let (seq, len, checksum) = (field(1), field(2) as usize, field(3));
-        if len == 0 || len > (CHECKPOINT_SLOT_BLOCKS as usize - 1) * PAGE_SIZE {
-            return Ok(None);
-        }
-        let mut raw = Vec::with_capacity(len);
-        let mut block = slot_start + 1;
-        while raw.len() < len {
-            let mut buf = vec![0u8; PAGE_SIZE];
-            device.read_block(block, &mut buf)?;
-            let take = (len - raw.len()).min(PAGE_SIZE);
-            raw.extend_from_slice(&buf[..take]);
-            block += 1;
-        }
-        if fnv1a64(&raw) != checksum {
-            // Torn checkpoint: the header persisted but (part of) the body
-            // did not, or vice versa.  The other slot is authoritative.
-            return Ok(None);
-        }
+        };
         match serde_json::from_slice(&raw) {
             Ok(meta) => Ok(Some((seq, meta))),
             Err(_) => Ok(None),
@@ -291,22 +282,11 @@ impl Ext4Sim {
     fn checkpoint_metadata(&self) -> KernelResult<()> {
         let raw = serde_json::to_vec(&*self.meta.read())
             .map_err(|_| KernelError::with_context(Errno::Io, "ext4sim: metadata serialization"))?;
-        if raw.len() > (CHECKPOINT_SLOT_BLOCKS as usize - 1) * PAGE_SIZE {
+        if raw.len() > CHECKPOINT.max_body_len() {
             return Err(KernelError::with_context(Errno::NoSpc, "ext4sim: metadata area full"));
         }
         let seq = self.checkpoint_seq.load(Ordering::Relaxed) + 1;
-        let slot_start = JOURNAL_START + JOURNAL_BLOCKS + (seq % 2) * CHECKPOINT_SLOT_BLOCKS;
-        for (i, chunk) in raw.chunks(PAGE_SIZE).enumerate() {
-            let mut buf = vec![0u8; PAGE_SIZE];
-            buf[..chunk.len()].copy_from_slice(chunk);
-            self.dev.write_block(slot_start + 1 + i as u64, &buf)?;
-        }
-        let mut header = vec![0u8; PAGE_SIZE];
-        header[..8].copy_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
-        header[8..16].copy_from_slice(&seq.to_le_bytes());
-        header[16..24].copy_from_slice(&(raw.len() as u64).to_le_bytes());
-        header[24..32].copy_from_slice(&fnv1a64(&raw).to_le_bytes());
-        self.dev.write_block(slot_start, &header)?;
+        CHECKPOINT.write(&*self.dev, seq, &raw)?;
         self.checkpoint_seq.store(seq, Ordering::Relaxed);
         Ok(())
     }

@@ -1,0 +1,137 @@
+//! The block-IO face the journal is parameterized over.
+//!
+//! [`crate::Journal`] contains the whole commit protocol but performs no
+//! I/O of its own: every read, write, and barrier goes through
+//! [`JournalIo`], so the same pipeline runs against the Bento `SuperBlock`
+//! capability, the kernel `BufferCache`, or a bare block device (the
+//! crash-contract tests mount it straight on crashsim's fault device via
+//! [`DeviceIo`]).
+//!
+//! The trait distinguishes *cached* writes ([`JournalIo::write_block`],
+//! used for commit records and recovery installs so a mounted cache stays
+//! coherent) from *raw* writes ([`JournalIo::write_raw`], used for log
+//! payload blocks — only recovery ever reads them back, so caching them
+//! would evict useful blocks once per commit).  The conflict-safe install
+//! policy lives in the journal itself and is expressed through
+//! [`JournalIo::flush_cached_if_eq`].
+
+use std::sync::Arc;
+
+use simkernel::dev::BlockDevice;
+use simkernel::error::KernelResult;
+use simkernel::queue::QueuedBlockDevice;
+
+/// Block I/O as seen by the journal.  All methods operate on whole blocks
+/// of the mounted device's block size ([`crate::record::BSIZE`] everywhere
+/// in this workspace).
+pub trait JournalIo {
+    /// Reads block `blockno` into `out` (through the cache when there is
+    /// one, so the journal sees the same bytes the file system does).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    fn read_block(&self, blockno: u64, out: &mut [u8]) -> KernelResult<()>;
+
+    /// Writes `data` to block `blockno` *through the cache*: after this
+    /// call a cached copy (if the backend keeps one) holds `data`.  Used
+    /// for commit records and recovery installs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    fn write_block(&self, blockno: u64, data: &[u8]) -> KernelResult<()>;
+
+    /// Writes `data` to block `blockno` bypassing any cache.  Used for log
+    /// payload blocks and conflict installs (frozen snapshots that must
+    /// not clobber a newer cached copy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    fn write_raw(&self, blockno: u64, data: &[u8]) -> KernelResult<()>;
+
+    /// Conflict-safe install probe: if the backend caches `blockno` and
+    /// the cached bytes equal `expected`, write the cached copy to the
+    /// device (keeping cache and disk coherent) and return `true`.
+    /// Returns `false` when the cached copy differs — a later,
+    /// not-yet-committed operation already modified it, and the journal
+    /// will [`JournalIo::write_raw`] the frozen snapshot instead so
+    /// uncommitted bytes never reach the home location.  Cacheless
+    /// backends simply return `false`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    fn flush_cached_if_eq(&self, blockno: u64, expected: &[u8]) -> KernelResult<bool>;
+
+    /// Durability barrier: everything written before this call is on
+    /// stable storage when it returns (device FLUSH; an fsync of the whole
+    /// backing file on the userspace provider).  On a queued device the
+    /// barrier also drains the submission queues.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    fn barrier(&self) -> KernelResult<()>;
+
+    /// The multi-queue face of the underlying device, when it has one —
+    /// enables batched stage-1 payload submission and the two-stage
+    /// overlapped commit.
+    fn queued(&self) -> Option<&dyn QueuedBlockDevice>;
+}
+
+/// [`JournalIo`] over a bare block device — no cache, so cached and raw
+/// writes coincide and [`JournalIo::flush_cached_if_eq`] always defers to
+/// the raw-write path.  This is how the crash-contract tests run the
+/// journal with no file system on top.
+#[derive(Clone)]
+pub struct DeviceIo {
+    dev: Arc<dyn BlockDevice>,
+}
+
+impl std::fmt::Debug for DeviceIo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceIo").finish_non_exhaustive()
+    }
+}
+
+impl DeviceIo {
+    /// Wraps `dev`.
+    pub fn new(dev: Arc<dyn BlockDevice>) -> Self {
+        DeviceIo { dev }
+    }
+
+    /// The wrapped device.
+    pub fn device(&self) -> &Arc<dyn BlockDevice> {
+        &self.dev
+    }
+}
+
+impl JournalIo for DeviceIo {
+    fn read_block(&self, blockno: u64, out: &mut [u8]) -> KernelResult<()> {
+        self.dev.read_block(blockno, out)
+    }
+
+    fn write_block(&self, blockno: u64, data: &[u8]) -> KernelResult<()> {
+        self.dev.write_block(blockno, data)
+    }
+
+    fn write_raw(&self, blockno: u64, data: &[u8]) -> KernelResult<()> {
+        self.dev.write_block(blockno, data)
+    }
+
+    fn flush_cached_if_eq(&self, _blockno: u64, _expected: &[u8]) -> KernelResult<bool> {
+        // No cache: the journal falls through to write_raw, which is the
+        // correct install for an uncached backend.
+        Ok(false)
+    }
+
+    fn barrier(&self) -> KernelResult<()> {
+        self.dev.flush()
+    }
+
+    fn queued(&self) -> Option<&dyn QueuedBlockDevice> {
+        self.dev.as_queued()
+    }
+}

@@ -1,0 +1,174 @@
+//! The journal-level crash contract, checked against the **bare**
+//! [`Journal`] — no file system on top, just the journal over crashsim's
+//! fault device.  Anything that fails here is a journal bug by
+//! construction, not a stack bug; anything that passes here is inherited
+//! by every stack, because the stacks are thin adapters.
+//!
+//! * exhaustive-prefix crash enumeration of a two-transaction conflict
+//!   workload: every write-boundary crash must recover to an
+//!   all-or-nothing, commit-ordered state,
+//! * sampled subset/reorder/tear enumeration of the same workload on the
+//!   multi-queue device (the batched stage-1 payload path),
+//! * a multi-thread stress run with the flush/drain invariants: `flush`
+//!   leaves nothing in flight, the barrier budget stays exactly 3 per
+//!   commit, and every committed byte survives.
+
+use std::sync::Arc;
+
+use crashsim::{prefix_states, sampled_states, DiskImage, FaultConfig, FaultDevice};
+use journal::io::{DeviceIo, JournalIo};
+use journal::record::BSIZE;
+use journal::{Journal, JournalConfig, MAX_OP_BLOCKS};
+use simkernel::cost::CostModel;
+use simkernel::dev::{BlockDevice, RamDisk};
+use simkernel::queue::{MultiQueueDevice, QueueConfig};
+
+const LOG_BLOCKS: usize = 2 * (4 * MAX_OP_BLOCKS + 1);
+const DISK_BLOCKS: u64 = 1024;
+
+fn config() -> JournalConfig {
+    JournalConfig::from_geometry(2, LOG_BLOCKS, LOG_BLOCKS, (2 + LOG_BLOCKS as u64, DISK_BLOCKS))
+}
+
+fn block_fill(io: &DeviceIo, blockno: u64) -> u8 {
+    let mut buf = vec![0u8; BSIZE];
+    io.read_block(blockno, &mut buf).unwrap();
+    buf[0]
+}
+
+/// Runs the two-transaction conflict workload (tx1: 900=0xA1, 901=0xA2;
+/// tx2: 900=0xB1, 902=0xB2) against `dev` and returns the journal.
+fn conflict_workload(dev: Arc<dyn BlockDevice>) {
+    let io = DeviceIo::new(dev);
+    let journal = Journal::new(config());
+    journal.begin_op();
+    journal.log_write(900, &[0xA1; BSIZE]).unwrap();
+    journal.log_write(901, &[0xA2; BSIZE]).unwrap();
+    journal.end_op(&io).unwrap();
+    journal.begin_op();
+    journal.log_write(900, &[0xB1; BSIZE]).unwrap();
+    journal.log_write(902, &[0xB2; BSIZE]).unwrap();
+    journal.end_op(&io).unwrap();
+}
+
+/// Recovers one crash state with a fresh journal and asserts the contract:
+/// committed-group atomicity, commit ordering, no resurrection on a second
+/// recovery.
+fn assert_contract(state: &crashsim::CrashState, what: &str) {
+    let disk: Arc<dyn BlockDevice> = Arc::clone(&state.disk) as Arc<dyn BlockDevice>;
+    let io = DeviceIo::new(disk);
+    let journal = Journal::new(config());
+    journal.recover(&io).unwrap();
+    assert_eq!(journal.recover(&io).unwrap(), 0, "{what}: {}", state.description);
+
+    let b900 = block_fill(&io, 900);
+    let b901 = block_fill(&io, 901);
+    let b902 = block_fill(&io, 902);
+    let state = &state.description;
+    let tx2_applied = b902 == 0xB2;
+    let tx1_applied = b901 == 0xA2;
+    if tx2_applied {
+        assert!(tx1_applied, "{what}: {state}: tx2 visible without tx1 (commit order broken)");
+        assert_eq!(b900, 0xB1, "{what}: {state}: tx2 partially applied");
+    } else if tx1_applied {
+        assert_eq!(b900, 0xA1, "{what}: {state}: tx1 partially applied");
+        assert_eq!(b902, 0x00, "{what}: {state}: tx2 leaked without committing");
+    } else {
+        assert_eq!((b900, b901, b902), (0, 0, 0), "{what}: {state}: partial transaction visible");
+    }
+}
+
+/// Exhaustive in-order prefixes on the synchronous device.
+#[test]
+fn every_write_prefix_crash_recovers_atomically() {
+    let base: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(BSIZE as u32, DISK_BLOCKS));
+    let image = Arc::new(DiskImage::capture(&base).unwrap());
+    let recorder = Arc::new(FaultDevice::new(base, FaultConfig::recorder(0)));
+    conflict_workload(Arc::clone(&recorder) as Arc<dyn BlockDevice>);
+    let trace = recorder.trace();
+    assert_eq!(trace.flush_count(), 6, "two commits, three barriers each");
+    for state in prefix_states(&trace, &image) {
+        assert_contract(&state, "prefix");
+    }
+}
+
+/// Sampled subset/reorder/tear states on the multi-queue device: the
+/// batched stage-1 payload path must honor the same contract even when the
+/// write cache reorders freely within a barrier epoch.
+#[test]
+fn sampled_queued_crashes_recover_atomically() {
+    let base: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(BSIZE as u32, DISK_BLOCKS));
+    let image = Arc::new(DiskImage::capture(&base).unwrap());
+    let recorder = Arc::new(FaultDevice::new(base, FaultConfig::recorder(0)));
+    let mqd: Arc<dyn BlockDevice> = Arc::new(MultiQueueDevice::new(
+        Arc::clone(&recorder) as Arc<dyn BlockDevice>,
+        CostModel::zero(),
+        QueueConfig::new(4, 8),
+    ));
+    conflict_workload(mqd);
+    let trace = recorder.trace();
+    assert_eq!(trace.flush_count(), 6, "queue path keeps three barriers per commit");
+    for state in sampled_states(&trace, &image, 0x005A_11ED, 400) {
+        assert_contract(&state, "sampled");
+    }
+}
+
+/// Multi-thread stress with the flush/drain invariants on the queued
+/// device.
+#[test]
+fn multithread_stress_flush_drains_and_keeps_barrier_budget() {
+    let mut model = CostModel::zero();
+    model.block_write_ns = 10_000;
+    model.flush_base_ns = 200_000;
+    model.inject_delays = true;
+    let mqd = Arc::new(MultiQueueDevice::new(
+        Arc::new(RamDisk::new(BSIZE as u32, 2048)),
+        model,
+        QueueConfig::new(4, 32),
+    ));
+    let io = Arc::new(DeviceIo::new(Arc::clone(&mqd) as Arc<dyn BlockDevice>));
+    let journal = Arc::new(Journal::new(JournalConfig::from_geometry(
+        2,
+        LOG_BLOCKS,
+        LOG_BLOCKS,
+        (2 + LOG_BLOCKS as u64, 2048),
+    )));
+
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let journal = Arc::clone(&journal);
+        let io = Arc::clone(&io);
+        handles.push(std::thread::spawn(move || {
+            for round in 0..6u64 {
+                journal.begin_op();
+                for i in 0..4u64 {
+                    let blockno = 1200 + t * 30 + round * 4 + i;
+                    let fill = (t * 29 + round * 5 + i + 1) as u8;
+                    journal.log_write(blockno, &[fill; BSIZE]).unwrap();
+                }
+                journal.end_op(&*io).unwrap();
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    journal.flush(&*io).unwrap();
+    assert_eq!(mqd.counters().inflight_now(), 0, "flush left requests in flight");
+
+    let stats = journal.stats();
+    assert!(stats.commits >= 1);
+    assert_eq!(stats.barriers, stats.commits * 3, "3-barriers-per-commit discipline broken");
+    assert!(stats.overlapped_commits <= stats.commits);
+    for t in 0..8u64 {
+        for round in 0..6u64 {
+            for i in 0..4u64 {
+                let blockno = 1200 + t * 30 + round * 4 + i;
+                let fill = (t * 29 + round * 5 + i + 1) as u8;
+                let mut buf = vec![0u8; BSIZE];
+                io.read_block(blockno, &mut buf).unwrap();
+                assert!(buf.iter().all(|&b| b == fill), "block {blockno} lost its committed data");
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Planted-bug test for the journal-level crash oracles, synchronous
+//! path: flipping [`journal::TEST_UNSAFE_EARLY_COMMIT_RECORD`] makes
+//! commits write the record (and its barrier) *before* the payload, and
+//! exhaustive-prefix enumeration must then catch recovery installing
+//! stale log bytes — while the identical workload with the hook off must
+//! show zero violations.  This proves the oracles in this crate detect
+//! real ordering violations rather than vacuously passing.
+//!
+//! Separate test binary: the hook is process-global, so it must not share
+//! a process with tests that assume the safe ordering.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crashsim::{prefix_states, DiskImage, FaultConfig, FaultDevice};
+use journal::io::{DeviceIo, JournalIo};
+use journal::record::BSIZE;
+use journal::{Journal, JournalConfig, MAX_OP_BLOCKS, TEST_UNSAFE_EARLY_COMMIT_RECORD};
+use simkernel::dev::{BlockDevice, RamDisk};
+
+const LOG_BLOCKS: usize = 2 * (4 * MAX_OP_BLOCKS + 1);
+const DISK_BLOCKS: u64 = 1024;
+
+fn config() -> JournalConfig {
+    JournalConfig::from_geometry(2, LOG_BLOCKS, LOG_BLOCKS, (2 + LOG_BLOCKS as u64, DISK_BLOCKS))
+}
+
+/// Runs the two-transaction conflict workload over a prefilled disk and
+/// returns how many prefix crash states violate the recovery oracle.
+///
+/// The homes are prefilled with 0x11 **before** the trace starts so a
+/// stale install is visible: with the planted bug, a crash between the
+/// record and the payload makes recovery install the log region's old
+/// bytes (zeros) over the 0x11 prefill — a value no correct history can
+/// produce.
+fn violations_with_bug(enable_bug: bool) -> usize {
+    let base: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(BSIZE as u32, DISK_BLOCKS));
+    for blockno in [900u64, 901, 902] {
+        base.write_block(blockno, &[0x11; BSIZE]).unwrap();
+    }
+    base.flush().unwrap();
+    let image = Arc::new(DiskImage::capture(&base).unwrap());
+    let recorder = Arc::new(FaultDevice::new(base, FaultConfig::recorder(0)));
+
+    TEST_UNSAFE_EARLY_COMMIT_RECORD.store(enable_bug, Ordering::SeqCst);
+    {
+        let io = DeviceIo::new(Arc::clone(&recorder) as Arc<dyn BlockDevice>);
+        let journal = Journal::new(config());
+        journal.begin_op();
+        journal.log_write(900, &[0xA1; BSIZE]).unwrap();
+        journal.log_write(901, &[0xA2; BSIZE]).unwrap();
+        journal.end_op(&io).unwrap();
+        journal.begin_op();
+        journal.log_write(900, &[0xB1; BSIZE]).unwrap();
+        journal.log_write(902, &[0xB2; BSIZE]).unwrap();
+        journal.end_op(&io).unwrap();
+    }
+    TEST_UNSAFE_EARLY_COMMIT_RECORD.store(false, Ordering::SeqCst);
+    let trace = recorder.trace();
+
+    let mut violations = 0;
+    for state in prefix_states(&trace, &image) {
+        let disk: Arc<dyn BlockDevice> = Arc::clone(&state.disk) as Arc<dyn BlockDevice>;
+        let io = DeviceIo::new(disk);
+        let journal = Journal::new(config());
+        journal.recover(&io).unwrap();
+        let mut fills = [0u8; 3];
+        for (slot, blockno) in [900u64, 901, 902].into_iter().enumerate() {
+            let mut buf = vec![0u8; BSIZE];
+            io.read_block(blockno, &mut buf).unwrap();
+            fills[slot] = buf[0];
+        }
+        // The only states a correct journal can recover to: nothing
+        // applied, tx1 applied, or tx1+tx2 applied.
+        let legal = matches!(fills, [0x11, 0x11, 0x11] | [0xA1, 0xA2, 0x11] | [0xB1, 0xA2, 0xB2]);
+        if !legal {
+            violations += 1;
+        }
+    }
+    violations
+}
+
+#[test]
+fn prefix_oracle_catches_early_commit_record() {
+    // Sanity: the identical workload without the planted bug is clean.
+    assert_eq!(violations_with_bug(false), 0, "clean journal flagged as buggy");
+    let violations = violations_with_bug(true);
+    assert!(violations > 0, "planted early-commit-record bug produced no detectable violation");
+}

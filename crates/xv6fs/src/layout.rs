@@ -14,8 +14,10 @@
 
 use simkernel::error::{Errno, KernelError, KernelResult};
 
-/// Block size in bytes (also the page size used by the page cache).
-pub const BSIZE: usize = 4096;
+/// Block size in bytes (also the page size used by the page cache).  Tied
+/// to the shared journal crate's block size: the commit-record capacity
+/// derives from it.
+pub const BSIZE: usize = journal::record::BSIZE;
 
 /// Magic number identifying an xv6 file system superblock.
 pub const FSMAGIC: u32 = 0x10203040;
@@ -50,8 +52,9 @@ pub const DPB: usize = BSIZE / DIRENT_SIZE;
 /// Bits per bitmap block.
 pub const BPB: usize = BSIZE * 8;
 
-/// Maximum number of blocks one log transaction may modify.
-pub const MAXOPBLOCKS: usize = 64;
+/// Maximum number of blocks one log transaction may modify — the shared
+/// journal's reservation granularity.
+pub const MAXOPBLOCKS: usize = journal::MAX_OP_BLOCKS;
 
 /// Total log blocks reserved on disk: **two** commit regions (the log is
 /// double-buffered so transaction groups can form while the previous group

@@ -1,156 +1,11 @@
-//! Shared on-disk commit-record (log-region header) layout.
-//!
-//! Two write-ahead logs write this header: the Bento file system's
-//! [`crate::log::Log`] and the VFS baseline's `xv6fs_vfs::log::VfsLog`.
-//! Their on-disk images must stay byte-compatible — the crash harness
-//! mounts one stack's image under the other's fsck oracle — so exactly one
-//! module owns the field offsets, the self-checksum, and the encode/decode
-//! logic.  The logs keep only their I/O plumbing.
-//!
-//! Header layout (one 4 KiB block per log region):
-//!
-//! | offset | field                                       |
-//! |-------:|---------------------------------------------|
-//! |      0 | `u32` count of logged blocks (0 = clean)    |
-//! |      8 | `u64` commit sequence number                |
-//! |     16 | `u64` FNV-1a self-checksum                  |
-//! |     24 | `count` consecutive `u32` home block numbers |
+//! Re-export shim: the commit-record (log-region header) layout moved to
+//! [`journal::record`] when the write-ahead log was extracted into the
+//! shared `journal` crate.  Existing callers (`crate::layout`, fsck, the
+//! crash harness) keep their import paths; the single source of truth for
+//! field offsets, the self-checksum, and encode/decode now serves every
+//! stack.
 
-use crate::layout::{get_u32, get_u64, put_u32, put_u64, BSIZE};
-
-/// Byte offset of the logged-block count in a log-region header.
-pub const LOG_HEAD_COUNT_OFF: usize = 0;
-
-/// Byte offset of the commit sequence number (`u64`) in a log-region
-/// header.  Recovery uses it to replay regions in commit order.
-pub const LOG_HEAD_SEQ_OFF: usize = 8;
-
-/// Byte offset of the header self-checksum (`u64`, FNV-1a over count, seq,
-/// and the home-block list).  A commit-record write is eight sector writes
-/// on a real device; the checksum lets recovery reject a header whose
-/// sectors only partially reached the platter instead of installing log
-/// blocks to a half-stale home list.
-pub const LOG_HEAD_CHECKSUM_OFF: usize = 16;
-
-/// Byte offset of the first logged home block number in a log-region
-/// header; entries are consecutive `u32`s.
-pub const LOG_HEAD_BLOCKS_OFF: usize = 24;
-
-/// Most home-block entries one header block can name.
-pub const LOG_HEAD_MAX_ENTRIES: usize = (BSIZE - LOG_HEAD_BLOCKS_OFF) / 4;
-
-/// Computes the self-checksum a log-region header should carry: FNV-1a
-/// over the count and sequence fields plus the `count` home-block entries
-/// (the checksum field itself is excluded).  A garbage count is clamped to
-/// the block so the function never panics on corrupt input.
-pub fn log_head_checksum(head: &[u8]) -> u64 {
-    let count = (get_u32(head, LOG_HEAD_COUNT_OFF) as usize).min(LOG_HEAD_MAX_ENTRIES);
-    let mut h = simkernel::hash::Fnv1a64::new();
-    h.update(&head[..LOG_HEAD_CHECKSUM_OFF]);
-    h.update(&head[LOG_HEAD_BLOCKS_OFF..LOG_HEAD_BLOCKS_OFF + 4 * count]);
-    h.finish()
-}
-
-/// Encodes a sealed commit record into `head`: count, sequence, home-block
-/// list, and the self-checksum stamped last.
-///
-/// # Panics
-///
-/// Panics if `homes` exceeds [`LOG_HEAD_MAX_ENTRIES`] (the log's region
-/// capacity is derived from that bound, so this is a caller bug).
-pub fn encode_head<I>(head: &mut [u8], seq: u64, homes: I)
-where
-    I: ExactSizeIterator<Item = u64>,
-{
-    assert!(homes.len() <= LOG_HEAD_MAX_ENTRIES, "commit record overflows header block");
-    put_u32(head, LOG_HEAD_COUNT_OFF, homes.len() as u32);
-    put_u64(head, LOG_HEAD_SEQ_OFF, seq);
-    for (i, home) in homes.enumerate() {
-        put_u32(head, LOG_HEAD_BLOCKS_OFF + i * 4, home as u32);
-    }
-    let checksum = log_head_checksum(head);
-    put_u64(head, LOG_HEAD_CHECKSUM_OFF, checksum);
-}
-
-/// Encodes a clean (count 0) header into `head`, keeping the region's last
-/// commit sequence visible for diagnostics, sealed with the checksum.
-pub fn encode_clear(head: &mut [u8], seq: u64) {
-    put_u32(head, LOG_HEAD_COUNT_OFF, 0);
-    put_u64(head, LOG_HEAD_SEQ_OFF, seq);
-    let checksum = log_head_checksum(head);
-    put_u64(head, LOG_HEAD_CHECKSUM_OFF, checksum);
-}
-
-/// A commit record recovery accepted: its sequence number and home blocks.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParsedHead {
-    /// Commit sequence number (orders replay across regions).
-    pub seq: u64,
-    /// Home block of each logged block, in log-region order.
-    pub homes: Vec<u64>,
-}
-
-/// Decodes a commit record, returning `None` for anything recovery must
-/// treat as a clean region: a zero count, a count beyond `capacity`, or a
-/// checksum mismatch (a torn commit-record write — the transaction never
-/// committed).  Callers still validate the home blocks against their own
-/// valid range.
-pub fn parse_head(head: &[u8], capacity: usize) -> Option<ParsedHead> {
-    let n = get_u32(head, LOG_HEAD_COUNT_OFF) as usize;
-    if n == 0 || n > capacity.min(LOG_HEAD_MAX_ENTRIES) {
-        return None;
-    }
-    if get_u64(head, LOG_HEAD_CHECKSUM_OFF) != log_head_checksum(head) {
-        return None;
-    }
-    let seq = get_u64(head, LOG_HEAD_SEQ_OFF);
-    let homes = (0..n).map(|i| get_u32(head, LOG_HEAD_BLOCKS_OFF + i * 4) as u64).collect();
-    Some(ParsedHead { seq, homes })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn encode_parse_roundtrip() {
-        let mut head = vec![0u8; BSIZE];
-        encode_head(&mut head, 7, [100u64, 200, 300].into_iter());
-        let parsed = parse_head(&head, 64).expect("valid header parses");
-        assert_eq!(parsed, ParsedHead { seq: 7, homes: vec![100, 200, 300] });
-    }
-
-    #[test]
-    fn clear_parses_as_clean() {
-        let mut head = vec![0u8; BSIZE];
-        encode_head(&mut head, 3, [50u64].into_iter());
-        encode_clear(&mut head, 3);
-        assert!(parse_head(&head, 64).is_none());
-        assert_eq!(get_u64(&head, LOG_HEAD_SEQ_OFF), 3, "sequence stays visible");
-    }
-
-    #[test]
-    fn torn_record_is_rejected() {
-        let mut head = vec![0u8; BSIZE];
-        encode_head(&mut head, 1, [100u64, 200].into_iter());
-        // Simulate a tear: one home entry changes after the checksum sealed.
-        put_u32(&mut head, LOG_HEAD_BLOCKS_OFF, 999);
-        assert!(parse_head(&head, 64).is_none());
-    }
-
-    #[test]
-    fn over_capacity_count_is_rejected() {
-        let mut head = vec![0u8; BSIZE];
-        encode_head(&mut head, 1, (0..10u32).map(|i| 100 + u64::from(i)));
-        assert!(parse_head(&head, 4).is_none(), "count beyond region capacity");
-        assert!(parse_head(&head, 10).is_some());
-    }
-
-    #[test]
-    fn offsets_are_the_documented_layout() {
-        assert_eq!(LOG_HEAD_COUNT_OFF, 0);
-        assert_eq!(LOG_HEAD_SEQ_OFF, 8);
-        assert_eq!(LOG_HEAD_CHECKSUM_OFF, 16);
-        assert_eq!(LOG_HEAD_BLOCKS_OFF, 24);
-    }
-}
+pub use journal::record::{
+    encode_clear, encode_head, log_head_checksum, parse_head, ParsedHead, LOG_HEAD_BLOCKS_OFF,
+    LOG_HEAD_CHECKSUM_OFF, LOG_HEAD_COUNT_OFF, LOG_HEAD_MAX_ENTRIES, LOG_HEAD_SEQ_OFF,
+};

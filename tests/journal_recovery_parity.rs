@@ -1,0 +1,202 @@
+//! Recovery parity across the log stacks: identical hostile pre-images
+//! must produce **identical** recovery decisions and identical final
+//! device bytes on every stack.
+//!
+//! Before the unified journal crate, `xv6fs::log` and `xv6fs_vfs::log`
+//! each carried their own copy of the corrupt-header defenses, and the
+//! copies could drift (a fix to one but not the other).  Both are now
+//! adapters over `journal::Journal::recover`, so equivalence holds by
+//! construction — this test pins that property so reintroducing a
+//! stack-private recovery path fails loudly.  Each scenario plants a
+//! hostile or valid commit record (torn checksum, out-of-range homes,
+//! over-capacity count, cleared header, garbage bytes, real records in
+//! one or both regions) on a fresh disk per stack and compares the
+//! replayed-block count and a full raw dump of the device afterwards.
+
+use std::sync::Arc;
+
+use crashsim::logharness::{all_stacks, test_geometry};
+use journal::record::{encode_clear, encode_head, BSIZE};
+use simkernel::dev::{BlockDevice, RamDisk};
+
+const DISK_BLOCKS: u64 = 1024;
+
+/// Region geometry mirroring [`test_geometry`]: `nlog = LOGSIZE = 514`,
+/// so each region spans 257 blocks (1 header + 256 data) starting at
+/// block 2.
+const REGION0_HEAD: u64 = 2;
+const REGION1_HEAD: u64 = 2 + 257;
+
+/// A pre-image: named list of raw block writes applied before "reboot".
+struct Scenario {
+    name: &'static str,
+    writes: Vec<(u64, Vec<u8>)>,
+}
+
+fn head_with(seq: u64, homes: &[u64]) -> Vec<u8> {
+    let mut head = vec![0u8; BSIZE];
+    encode_head(&mut head, seq, homes.iter().copied());
+    head
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // A committed-but-not-installed record: must replay on every stack.
+    out.push(Scenario {
+        name: "valid-region0",
+        writes: vec![
+            (REGION0_HEAD, head_with(1, &[900, 901])),
+            (REGION0_HEAD + 1, vec![0xC1; BSIZE]),
+            (REGION0_HEAD + 2, vec![0xC2; BSIZE]),
+        ],
+    });
+
+    // Both regions committed: replay must honor sequence order (block 900
+    // must end at region 1's value).
+    out.push(Scenario {
+        name: "valid-both-regions-seq-order",
+        writes: vec![
+            (REGION0_HEAD, head_with(1, &[900])),
+            (REGION0_HEAD + 1, vec![0xC1; BSIZE]),
+            (REGION1_HEAD, head_with(2, &[900, 902])),
+            (REGION1_HEAD + 1, vec![0xD1; BSIZE]),
+            (REGION1_HEAD + 2, vec![0xD2; BSIZE]),
+        ],
+    });
+
+    // Torn record: one flipped checksum byte must reject the region.
+    let mut torn = head_with(1, &[900, 901]);
+    torn[journal::record::LOG_HEAD_CHECKSUM_OFF] ^= 0xFF;
+    out.push(Scenario {
+        name: "torn-checksum",
+        writes: vec![
+            (REGION0_HEAD, torn),
+            (REGION0_HEAD + 1, vec![0xC1; BSIZE]),
+            (REGION0_HEAD + 2, vec![0xC2; BSIZE]),
+        ],
+    });
+
+    // Homes pointing back into the log area or past the device: a
+    // checksum-valid record naming them must be rejected wholesale.
+    out.push(Scenario {
+        name: "out-of-range-home-low",
+        writes: vec![
+            (REGION0_HEAD, head_with(1, &[3, 900])),
+            (REGION0_HEAD + 1, vec![0xC1; BSIZE]),
+        ],
+    });
+    out.push(Scenario {
+        name: "out-of-range-home-high",
+        writes: vec![
+            (REGION0_HEAD, head_with(1, &[900, 4000])),
+            (REGION0_HEAD + 1, vec![0xC1; BSIZE]),
+        ],
+    });
+
+    // Count larger than the region capacity (256): checksum-valid but
+    // geometrically impossible, must be rejected.
+    let over: Vec<u64> = (0..300).map(|i| 600 + i).collect();
+    out.push(Scenario {
+        name: "over-capacity-count",
+        writes: vec![(REGION0_HEAD, head_with(1, &over))],
+    });
+
+    // A cleared header (count 0) is the quiescent state: nothing replays.
+    let mut cleared = vec![0u8; BSIZE];
+    encode_clear(&mut cleared, 7);
+    out.push(Scenario { name: "cleared-header", writes: vec![(REGION0_HEAD, cleared)] });
+
+    // Arbitrary garbage where the header should be (e.g. a foreign file
+    // system's block): nothing replays, nothing crashes.
+    let garbage: Vec<u8> =
+        (0..BSIZE).map(|i| (i as u8).wrapping_mul(131).wrapping_add(7)).collect();
+    out.push(Scenario { name: "garbage-header", writes: vec![(REGION0_HEAD, garbage)] });
+
+    out
+}
+
+fn dump_device(dev: &Arc<dyn BlockDevice>) -> Vec<u8> {
+    let mut out = vec![0u8; DISK_BLOCKS as usize * BSIZE];
+    for blockno in 0..DISK_BLOCKS {
+        let start = blockno as usize * BSIZE;
+        dev.read_block(blockno, &mut out[start..start + BSIZE]).unwrap();
+    }
+    out
+}
+
+#[test]
+fn hostile_headers_recover_identically_on_every_stack() {
+    // The geometry constants above must stay in sync with the shared
+    // harness geometry.
+    let dsb = test_geometry(DISK_BLOCKS as u32);
+    assert_eq!(dsb.logstart as u64, REGION0_HEAD);
+    assert_eq!(dsb.logstart as u64 + dsb.nlog as u64 / 2, REGION1_HEAD);
+
+    for scenario in scenarios() {
+        let mut results: Vec<(&'static str, usize, Vec<u8>)> = Vec::new();
+        for stack in all_stacks() {
+            let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(BSIZE as u32, DISK_BLOCKS));
+            for (blockno, data) in &scenario.writes {
+                dev.write_block(*blockno, data).unwrap();
+            }
+            let log = stack.open(Arc::clone(&dev), DISK_BLOCKS as u32);
+            let replayed = log.recover().unwrap();
+            assert_eq!(
+                log.recover().unwrap(),
+                0,
+                "{}: {}: second recovery not a no-op",
+                scenario.name,
+                stack.name()
+            );
+            results.push((stack.name(), replayed, dump_device(&dev)));
+        }
+        let (first_name, first_replayed, first_dump) = &results[0];
+        for (name, replayed, dump) in &results[1..] {
+            assert_eq!(
+                replayed, first_replayed,
+                "{}: {name} replayed a different block count than {first_name}",
+                scenario.name
+            );
+            assert!(
+                dump == first_dump,
+                "{}: {name} left different device bytes than {first_name}",
+                scenario.name
+            );
+        }
+        // Spot-check the decisions themselves so parity can't be satisfied
+        // by everyone being wrong the same new way.
+        let expected = match scenario.name {
+            "valid-region0" => 2,
+            "valid-both-regions-seq-order" => 3,
+            _ => 0,
+        };
+        assert_eq!(*first_replayed, expected, "{}: unexpected replay count", scenario.name);
+    }
+}
+
+#[test]
+fn valid_records_install_payload_identically() {
+    // Focused follow-up on the replaying scenarios: the installed home
+    // bytes must be the payload bytes on every stack.
+    for stack in all_stacks() {
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(BSIZE as u32, DISK_BLOCKS));
+        dev.write_block(REGION0_HEAD, &head_with(1, &[900])).unwrap();
+        dev.write_block(REGION0_HEAD + 1, &[0xC1; BSIZE]).unwrap();
+        dev.write_block(REGION1_HEAD, &head_with(2, &[900, 902])).unwrap();
+        dev.write_block(REGION1_HEAD + 1, &[0xD1; BSIZE]).unwrap();
+        dev.write_block(REGION1_HEAD + 2, &[0xD2; BSIZE]).unwrap();
+        let log = stack.open(Arc::clone(&dev), DISK_BLOCKS as u32);
+        assert_eq!(log.recover().unwrap(), 3, "{}", stack.name());
+        assert!(
+            log.read_block(900).unwrap().iter().all(|&b| b == 0xD1),
+            "{}: seq order not honored for conflicting home",
+            stack.name()
+        );
+        assert!(
+            log.read_block(902).unwrap().iter().all(|&b| b == 0xD2),
+            "{}: payload not installed",
+            stack.name()
+        );
+    }
+}
