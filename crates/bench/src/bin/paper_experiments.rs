@@ -151,7 +151,7 @@ fn main() {
         );
     }
     if selected.contains("load") {
-        // Workload modeling + load generation: four personalities × three
+        // Workload modeling + load generation: five personalities × three
         // stacks with p50/p99/p99.9, the open-loop overload probe, the
         // upgrade-under-traffic scenario (zero failed ops enforced), and
         // transient-EIO injection under load.

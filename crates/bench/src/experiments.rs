@@ -8,8 +8,8 @@ use simkernel::vfs::{MountOptions, WritePathStats};
 
 use bugdb::BugStudy;
 use workloads::{
-    create_micro, delete_micro, fileserver, generate_linux_like_manifest, mount_stack,
-    mount_stack_with, read_micro, read_micro_disjoint, untar, varmail, write_micro,
+    create_crossdir_micro, create_micro, delete_micro, fileserver, generate_linux_like_manifest,
+    mount_stack, mount_stack_with, read_micro, read_micro_disjoint, untar, varmail, write_micro,
     write_micro_disjoint, AccessPattern, FsStack, MountedStack,
 };
 
@@ -441,7 +441,11 @@ fn write_path_delta(before: &WritePathStats, after: &WritePathStats) -> WritePat
 /// batching counters the pipelined log and the allocation groups expose:
 /// `create-Nt-ops-per-commit` (group-commit batching factor),
 /// `create-Nt-barriers-per-op`, and `create-Nt-groups-used` (allocation
-/// spread).  A second pass re-runs create at [`SCALING_SMOKE_THREADS`]
+/// spread).  A namespace-scaling pass runs the shared-pool cross-directory
+/// create workload ([`create_crossdir_micro`]) at every thread count
+/// (`create-Nt-crossdir` / `create-Nt-crossdir-us-per-op` rows), with each
+/// point fsck-gated on unmount — the sweep that used to serialize on the
+/// per-mount namespace mutex.  A second pass re-runs create at [`SCALING_SMOKE_THREADS`]
 /// with the NVMe cost model (`create-nvme-Nt*` rows) — with real barrier
 /// costs, group commit must drive barriers-per-op *down* as threads go up —
 /// and sweeps the `alloc_groups` and `fd_shards` mount options on the
@@ -543,6 +547,36 @@ pub fn scaling_experiment_with_threads(
                 ));
             }
             mounted.unmount()?;
+        }
+    }
+    // Cross-directory create sweep over a *shared* directory pool: the
+    // workload that the per-mount namespace mutex used to serialize
+    // outright.  With per-directory locks the per-op cost must stay flat
+    // as threads rise (this host is single-core, so the claim is
+    // absence-of-collapse, not speedup).  Each point unmounts through the
+    // offline fsck — a namespace-locking bug fails the experiment rather
+    // than producing a quietly wrong row.
+    for stack in [FsStack::BentoXv6, FsStack::VfsXv6] {
+        for &threads in thread_counts {
+            let mounted = mount_stack(stack, model.clone(), cfg.disk_blocks)?;
+            let create = create_crossdir_micro(&mounted.vfs, 4096, threads, cfg.duration)?;
+            rows.push(Row::new(
+                "scaling",
+                &format!("create-{threads}t-crossdir"),
+                stack.label(),
+                create.ops_per_sec(),
+                "ops/sec",
+                None,
+            ));
+            rows.push(Row::new(
+                "scaling",
+                &format!("create-{threads}t-crossdir-us-per-op"),
+                stack.label(),
+                1e6 / create.ops_per_sec().max(1e-9),
+                "us/op",
+                None,
+            ));
+            mounted.unmount_and_check()?;
         }
     }
     // With real barrier costs (NVMe model), group-commit batching must show
@@ -791,8 +825,8 @@ fn load_personality_rows(
     Ok(rows)
 }
 
-/// The `load` experiment: the four loadgen personalities (varmail,
-/// fileserver, webserver, untar-replay) closed-loop on the Bento, VFS and
+/// The `load` experiment: the five loadgen personalities (varmail,
+/// fileserver, webserver, untar-replay, namespace-churn) closed-loop on the Bento, VFS and
 /// ext4 stacks with latency percentiles, an open-loop overload probe
 /// (backlog measured, not hidden), the paper's upgrade-under-traffic
 /// scenario (bounded pause, zero failed ops — violations fail the
@@ -994,6 +1028,19 @@ mod tests {
                     assert!(row.value > 0.0, "{stack}/{config} must do work");
                     assert_eq!(row.unit, "ops/sec");
                 }
+                // The cross-directory create sweep (per-directory namespace
+                // locks over a shared pool) reports ops/s plus per-op cost,
+                // and only reaches the row list if the post-run fsck came
+                // back clean.
+                for (suffix, unit) in [("crossdir", "ops/sec"), ("crossdir-us-per-op", "us/op")] {
+                    let config = format!("create-{threads}t-{suffix}");
+                    let row = rows
+                        .iter()
+                        .find(|r| r.stack == stack && r.config == config)
+                        .unwrap_or_else(|| panic!("missing row {stack}/{config}"));
+                    assert!(row.value > 0.0, "{stack}/{config} must be populated");
+                    assert_eq!(row.unit, unit);
+                }
                 // Per-run write-path counters ride along with every create
                 // point.
                 for (suffix, unit) in [
@@ -1094,7 +1141,9 @@ mod tests {
         };
         let rows = load_experiment(&cfg).expect("load experiment must hold its invariants");
         for stack in ["Bento", "C-Kernel", "Ext4"] {
-            for personality in ["varmail", "fileserver", "webserver", "untar-replay"] {
+            for personality in
+                ["varmail", "fileserver", "webserver", "untar-replay", "namespace-churn"]
+            {
                 for suffix in ["", "-p50-us", "-p99-us"] {
                     let config = format!("{personality}{suffix}");
                     assert!(

@@ -38,6 +38,25 @@
 //! only, so a crash can leak the quarantined blocks; the consistency
 //! checker reports those as warnings (real e2fsck reclaims leaked blocks
 //! the same way).
+//!
+//! ## Namespace locking (audit note)
+//!
+//! The two xv6 stacks use per-directory namespace locks
+//! ([`simkernel::nslock`]) because their namespace operations do block I/O
+//! (directory-entry reads/writes through the buffer cache) inside the
+//! critical section, so a global lock would serialize device time across
+//! unrelated directories.  ext4sim deliberately does **not** adopt them:
+//! every namespace operation here (`create`, `mkdir`, `unlink`, `rmdir`,
+//! `rename`, `link`) is a pure in-memory mutation of the single `Metadata`
+//! map behind one `RwLock`, and all device I/O — `note_metadata_change`
+//! journaling and quarantined frees — happens strictly *after* the metadata
+//! guard is dropped.  The critical sections are a few `HashMap` operations
+//! long; splitting them per directory would require sharding the one
+//! `inodes` map (every inode lives behind the same `&mut Metadata`) for no
+//! measurable win, and cross-directory rename would then need its own
+//! ordering discipline.  If directory metadata ever moves onto the device
+//! (block-group layout, htree directories), this decision must be
+//! revisited.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -165,6 +184,10 @@ impl ConsistencyReport {
 /// The simplified ext4-like file system.
 pub struct Ext4Sim {
     dev: Arc<dyn BlockDevice>,
+    /// All metadata (inodes, directories, free list) behind one lock.  This
+    /// is intentionally *not* per-directory: critical sections are pure
+    /// in-memory map mutations with device I/O done after the guard drops —
+    /// see the "Namespace locking" module docs before changing this.
     meta: RwLock<Metadata>,
     txn: Mutex<Transaction>,
     stats: Mutex<JournalStats>,

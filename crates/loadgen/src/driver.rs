@@ -251,6 +251,7 @@ pub fn run_load(vfs: &Arc<Vfs>, spec: &WorkloadSpec, cfg: &LoadConfig) -> Kernel
     let spec = Arc::new(spec.clone());
     let cfg = Arc::new(cfg.clone());
 
+    let dirs = Arc::new(spec.fileset.dir_paths("/"));
     let start = Instant::now();
     let deadline = start + cfg.duration;
     let mut handles = Vec::with_capacity(workers);
@@ -259,6 +260,7 @@ pub fn run_load(vfs: &Arc<Vfs>, spec: &WorkloadSpec, cfg: &LoadConfig) -> Kernel
         let spec = Arc::clone(&spec);
         let cfg = Arc::clone(&cfg);
         let files = Arc::clone(&files);
+        let dirs = Arc::clone(&dirs);
         let zipf = zipf.clone();
         let timeline = Arc::clone(&timeline);
         let arrivals = Arc::clone(&arrivals);
@@ -274,6 +276,7 @@ pub fn run_load(vfs: &Arc<Vfs>, spec: &WorkloadSpec, cfg: &LoadConfig) -> Kernel
                 spec,
                 cfg: Arc::clone(&cfg),
                 files,
+                dirs,
                 zipf,
                 rng: SmallRng::seed_from_u64(cfg.seed.wrapping_add(0x9e37 * (t as u64 + 1))),
                 worker_id: t,
@@ -347,6 +350,10 @@ struct Worker {
     spec: Arc<WorkloadSpec>,
     cfg: Arc<LoadConfig>,
     files: Arc<Vec<String>>,
+    /// Every fileset directory (empty for flat filesets): rename targets
+    /// rotate through these, so renames cross directories and exercise the
+    /// two-parent pair-locked namespace path.
+    dirs: Arc<Vec<String>>,
     zipf: Option<Arc<Zipfian>>,
     rng: SmallRng,
     worker_id: usize,
@@ -539,7 +546,18 @@ impl Worker {
             },
             OpKind::Rename => match self.created.pop() {
                 Some(old) => {
-                    let new = format!("{old}.r");
+                    // Cross-directory when the fileset has directories:
+                    // move the file into another fileset directory (the
+                    // two-parent rename path, pair-locked by inum order in
+                    // the xv6 stacks).  Flat filesets keep the old
+                    // same-directory rename.
+                    let new = if self.dirs.is_empty() {
+                        format!("{old}.r")
+                    } else {
+                        let dir = &self.dirs[self.next_name as usize % self.dirs.len()];
+                        self.next_name += 1;
+                        format!("{dir}/mv-{}-{}", self.worker_id, self.next_name)
+                    };
                     match self.vfs.rename(&old, &new) {
                         Ok(()) => {
                             self.remember(new);

@@ -10,11 +10,13 @@
 //! * **Declarative workload models** ([`WorkloadSpec`]): a file-set shape
 //!   (directory width/depth, file count, size distribution), a weighted op
 //!   mix over create / read / write / append / fsync / stat / delete /
-//!   rename, and seeded Zipfian file popularity ([`zipf::Zipfian`]).  Four
+//!   rename, and seeded Zipfian file popularity ([`zipf::Zipfian`]).  Five
 //!   personalities ship: [`WorkloadSpec::varmail`],
-//!   [`WorkloadSpec::fileserver`], [`WorkloadSpec::webserver`], and
+//!   [`WorkloadSpec::fileserver`], [`WorkloadSpec::webserver`],
 //!   [`WorkloadSpec::untar_replay`] (which replays the
-//!   `workloads::untar` manifest with per-op latency).
+//!   `workloads::untar` manifest with per-op latency), and
+//!   [`WorkloadSpec::namespace_churn`] (rename-heavy, cross-directory —
+//!   the mix that leans on the per-directory namespace locks).
 //! * **Closed- and open-loop drivers** ([`driver::run_load`]): closed loop
 //!   = N workers + think time (peak throughput); open loop = a target
 //!   arrival rate on a virtual clock, where overload shows up as measured

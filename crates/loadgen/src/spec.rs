@@ -296,6 +296,35 @@ impl WorkloadSpec {
         }
     }
 
+    /// The namespace-churn personality: create/rename/delete dominated
+    /// traffic over a wide directory tree — the workload class the
+    /// per-directory namespace locks (`simkernel::nslock`) exist for.
+    /// Renames in a multi-directory fileset are cross-directory (see the
+    /// driver), so this leans on the pair-locked two-parent path
+    /// constantly, from every argument order.
+    pub fn namespace_churn() -> Self {
+        WorkloadSpec {
+            name: "namespace-churn".to_string(),
+            fileset: FileSetSpec {
+                dir_width: 12,
+                depth: 1,
+                files: 240,
+                size: SizeDist::Uniform { min: 1024, max: 8 * 1024 },
+            },
+            mix: OpMix::new(&[
+                (OpKind::Create, 6),
+                (OpKind::Rename, 8),
+                (OpKind::Delete, 5),
+                (OpKind::Stat, 3),
+                (OpKind::Read, 2),
+            ]),
+            zipf_theta: 0.6,
+            io_size: 4 * 1024,
+            append_size: 2 * 1024,
+            replay: None,
+        }
+    }
+
     /// The untar-replay personality: replays a deterministic Linux-like
     /// manifest (reusing `workloads::untar`'s generator) with per-op
     /// latency, instead of sampling a steady-state mix.
@@ -312,13 +341,14 @@ impl WorkloadSpec {
         }
     }
 
-    /// The four shipped personalities at the given untar scale.
+    /// The five shipped personalities at the given untar scale.
     pub fn personalities(untar_files: usize) -> Vec<WorkloadSpec> {
         vec![
             WorkloadSpec::varmail(),
             WorkloadSpec::fileserver(),
             WorkloadSpec::webserver(),
             WorkloadSpec::untar_replay(untar_files, 42),
+            WorkloadSpec::namespace_churn(),
         ]
     }
 
@@ -376,7 +406,7 @@ mod tests {
     #[test]
     fn personalities_are_shaped_as_documented() {
         let all = WorkloadSpec::personalities(120);
-        assert_eq!(all.len(), 4);
+        assert_eq!(all.len(), 5);
         let varmail = &all[0];
         assert!(varmail.mix.weight(OpKind::Fsync) > 0, "varmail must fsync");
         let webserver = &all[2];
@@ -390,5 +420,15 @@ mod tests {
         // Deterministic: same seed, same manifest.
         let again = WorkloadSpec::untar_replay(120, 42);
         assert_eq!(again.replay.unwrap(), *manifest);
+        let churn = &all[4];
+        assert_eq!(churn.name, "namespace-churn");
+        assert!(
+            churn.mix.weight(OpKind::Rename) >= churn.mix.weight(OpKind::Create),
+            "namespace churn must be rename-heavy"
+        );
+        assert!(
+            !churn.fileset.dir_paths("/").is_empty(),
+            "namespace churn needs directories for cross-directory renames"
+        );
     }
 }

@@ -39,6 +39,10 @@
 //!   [`shard::StripedCounter`]) under the buffer cache, page cache, and fd
 //!   table, so the paper's 32-thread workloads do not serialize on global
 //!   map locks.
+//! * [`nslock`] — per-directory namespace locks ([`nslock::DirLockTable`]):
+//!   one lock per directory inode with an ascending-inum ordering
+//!   discipline (checked at runtime in debug builds), so concurrent
+//!   creates/unlinks/renames in different directories never share a lock.
 //! * [`sync`] — kernel-flavoured synchronization wrappers.
 //! * [`hash`] — dependency-free FNV-1a checksums used by on-disk records
 //!   that must survive torn writes (log commit records, checkpoints).
@@ -73,6 +77,7 @@ pub mod error;
 pub mod hash;
 pub mod memfs;
 pub mod metrics;
+pub mod nslock;
 pub mod pagecache;
 pub mod queue;
 pub mod shard;

@@ -1,0 +1,311 @@
+//! Per-directory namespace locks: a sharded lock table keyed by inode
+//! number, with a global ordering discipline.
+//!
+//! The Bento paper's 32-thread experiments (§6.4) hammer concurrent
+//! namespace modification.  A single per-mount `Mutex<()>` around every
+//! create / unlink / rename serializes all of those threads even when they
+//! touch *different* directories.  [`DirLockTable`] replaces that mutex
+//! with one lock per directory inode, handed out on demand from a
+//! [`ShardedMap`], so threads mutating disjoint directories never contend.
+//!
+//! ## Lock-ordering invariant
+//!
+//! Operations that must hold two directory locks at once (cross-directory
+//! rename) acquire them in **ascending inode number** ([`DirLockTable::lock_pair`]).
+//! Because every multi-lock acquisition follows the same total order, two
+//! renames between the same pair of directories can never deadlock.  In
+//! debug builds a thread-local checker enforces the discipline: acquiring a
+//! directory lock while already holding one with an equal or higher inode
+//! number panics immediately instead of deadlocking some run later.
+//!
+//! Lock entries are created on first use and kept for the life of the
+//! table (they die with the mount).  Growth is bounded by the number of
+//! distinct directories mutated through the mount — the same envelope as
+//! the inode cache itself — and one table entry is an `Arc<Mutex<()>>`,
+//! so no pruning pass is needed.
+
+use std::sync::Arc;
+
+use parking_lot::{ArcMutexGuard, Mutex, RawMutex};
+
+use crate::shard::ShardedMap;
+
+/// The debug-only lock-order checker: a thread-local stack of held
+/// directory-lock inode numbers, kept ascending by construction.
+#[cfg(debug_assertions)]
+mod order {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Records an acquisition; panics if it violates ascending-inum order.
+    pub fn acquire(ino: u64) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&highest) = held.last() {
+                assert!(
+                    ino > highest,
+                    "directory lock order violation: acquiring inum {ino} while holding \
+                     inum {highest} (directory locks must be taken in ascending inode order)"
+                );
+            }
+            held.push(ino);
+        });
+    }
+
+    /// Records a release (guards may drop in any order).
+    pub fn release(ino: u64) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&h| h == ino) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// RAII guard for one directory's namespace lock.
+pub struct DirLockGuard {
+    // `guard` must drop before the order checker forgets the hold, so the
+    // release below runs strictly after the mutex is available again only
+    // from this thread's perspective (field cleared explicitly in Drop).
+    guard: Option<ArcMutexGuard<RawMutex, ()>>,
+    ino: u64,
+}
+
+impl DirLockGuard {
+    /// The inode number this guard locks.
+    pub fn ino(&self) -> u64 {
+        self.ino
+    }
+}
+
+impl Drop for DirLockGuard {
+    fn drop(&mut self) {
+        self.guard = None;
+        #[cfg(debug_assertions)]
+        order::release(self.ino);
+    }
+}
+
+impl std::fmt::Debug for DirLockGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DirLockGuard").field("ino", &self.ino).finish()
+    }
+}
+
+/// RAII guard for a pair of directory locks taken in ascending-inum order
+/// (one lock when both inodes are the same directory).
+#[derive(Debug)]
+pub struct DirPairGuard {
+    _lo: DirLockGuard,
+    _hi: Option<DirLockGuard>,
+}
+
+/// A table of per-directory namespace locks keyed by inode number.
+///
+/// See the module docs for the ordering discipline.  The table itself is
+/// an N-way [`ShardedMap`], so handing out locks for different directories
+/// rarely touches the same shard, and the lock state is an
+/// `Arc<Mutex<()>>` per directory: guards are owned (`lock_arc`), so they
+/// stay valid however long the operation runs.
+pub struct DirLockTable {
+    locks: ShardedMap<u64, Arc<Mutex<()>>>,
+}
+
+impl Default for DirLockTable {
+    fn default() -> Self {
+        DirLockTable::new()
+    }
+}
+
+impl std::fmt::Debug for DirLockTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DirLockTable").field("entries", &self.locks.len()).finish()
+    }
+}
+
+impl DirLockTable {
+    /// Creates an empty table (default shard count).
+    pub fn new() -> Self {
+        DirLockTable { locks: ShardedMap::new(0) }
+    }
+
+    /// Number of directories that have ever been locked through this table.
+    pub fn entries(&self) -> usize {
+        self.locks.len()
+    }
+
+    fn entry(&self, ino: u64) -> Arc<Mutex<()>> {
+        self.locks.get_or_insert_with(ino, || Arc::new(Mutex::new(())))
+    }
+
+    /// Locks directory `ino`.  Debug builds panic if the calling thread
+    /// already holds a directory lock with an equal or higher inode number.
+    pub fn lock(&self, ino: u64) -> DirLockGuard {
+        let entry = self.entry(ino);
+        #[cfg(debug_assertions)]
+        order::acquire(ino);
+        DirLockGuard { guard: Some(Mutex::lock_arc(&entry)), ino }
+    }
+
+    /// Locks directories `a` and `b` in ascending-inum order; a same-
+    /// directory pair (`a == b`) takes a single lock.  This is the only
+    /// safe way to hold two directory locks at once.
+    pub fn lock_pair(&self, a: u64, b: u64) -> DirPairGuard {
+        if a == b {
+            return DirPairGuard { _lo: self.lock(a), _hi: None };
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let first = self.lock(lo);
+        let second = self.lock(hi);
+        DirPairGuard { _lo: first, _hi: Some(second) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn disjoint_directories_do_not_block_each_other() {
+        let table = Arc::new(DirLockTable::new());
+        let g5 = table.lock(5);
+        // Another thread locking a different directory must get through
+        // while inum 5 is held here.
+        let t2 = Arc::clone(&table);
+        let other = thread::spawn(move || {
+            let _g = t2.lock(9);
+            true
+        });
+        assert!(other.join().unwrap());
+        drop(g5);
+        assert_eq!(table.entries(), 2);
+    }
+
+    #[test]
+    fn same_directory_serializes() {
+        let table = Arc::new(DirLockTable::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let table = Arc::clone(&table);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                for _ in 0..100 {
+                    let _g = table.lock(7);
+                    // Non-atomic read-modify-write made safe only by the
+                    // directory lock.
+                    let v = counter.load(Ordering::Relaxed);
+                    thread::yield_now();
+                    counter.store(v + 1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn lock_pair_orders_by_inum_and_prevents_deadlock() {
+        // Two threads renaming in opposite directions between the same two
+        // directories: with ordered pair acquisition this cannot deadlock,
+        // whatever order the arguments arrive in.
+        let table = Arc::new(DirLockTable::new());
+        let mut handles = Vec::new();
+        for t in 0..2u64 {
+            let table = Arc::clone(&table);
+            handles.push(thread::spawn(move || {
+                for _ in 0..200 {
+                    let (a, b) = if t == 0 { (3, 11) } else { (11, 3) };
+                    let _pair = table.lock_pair(a, b);
+                    thread::yield_now();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn lock_pair_same_directory_takes_one_lock() {
+        let table = DirLockTable::new();
+        let _pair = table.lock_pair(4, 4);
+        assert_eq!(table.entries(), 1);
+        // The single underlying mutex is held.
+        let entry = table.entry(4);
+        assert!(entry.try_lock().is_none());
+    }
+
+    #[test]
+    fn guard_reports_its_inode() {
+        let table = DirLockTable::new();
+        let g = table.lock(42);
+        assert_eq!(g.ino(), 42);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "directory lock order violation")]
+    fn descending_acquisition_panics_in_debug_builds() {
+        let table = DirLockTable::new();
+        let _high = table.lock(10);
+        let _low = table.lock(2); // must panic: 2 < 10
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn order_checker_resets_after_release() {
+        let table = DirLockTable::new();
+        {
+            let _g = table.lock(10);
+        }
+        // The earlier (released) hold of 10 must not poison this thread:
+        // locking a lower inum afterwards is legal.
+        let _g = table.lock(2);
+    }
+
+    #[test]
+    fn pair_then_single_reacquire_does_not_self_deadlock() {
+        // Drop the pair before relocking one of its members — the pattern
+        // the rename target-removal path uses.
+        let table = DirLockTable::new();
+        let pair = table.lock_pair(6, 13);
+        drop(pair);
+        let _g = table.lock(6);
+    }
+
+    #[test]
+    fn many_threads_random_pairs_terminate() {
+        let table = Arc::new(DirLockTable::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let table = Arc::clone(&table);
+            handles.push(thread::spawn(move || {
+                let mut x = t.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                for _ in 0..300 {
+                    // xorshift over a small dir pool, both argument orders.
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let a = x % 16;
+                    let b = (x >> 8) % 16;
+                    let _pair = table.lock_pair(a, b);
+                }
+            }));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        for h in handles {
+            assert!(std::time::Instant::now() < deadline, "pair storm took too long");
+            h.join().unwrap();
+        }
+    }
+}

@@ -22,8 +22,8 @@ pub mod stacks;
 pub mod untar;
 
 pub use runner::{
-    create_micro, delete_micro, fileserver, read_micro, read_micro_disjoint, varmail, write_micro,
-    write_micro_disjoint, AccessPattern, WorkloadResult,
+    create_crossdir_micro, create_micro, delete_micro, fileserver, read_micro, read_micro_disjoint,
+    rename_storm, varmail, write_micro, write_micro_disjoint, AccessPattern, WorkloadResult,
 };
 pub use stacks::{mount_stack, mount_stack_on_device, mount_stack_with, FsStack, MountedStack};
 pub use untar::{generate_linux_like_manifest, untar, UntarEntry, UntarManifest};

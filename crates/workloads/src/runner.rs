@@ -282,6 +282,88 @@ pub fn create_micro(
     })
 }
 
+/// Like [`create_micro`] but over a **shared** pool of `2 * threads`
+/// directories: thread `t` creates its `i`-th file in directory
+/// `(t + i) % pool`, so every directory is hit by every thread.
+///
+/// Under a single per-mount namespace lock this workload is
+/// indistinguishable from `create_micro`; with per-directory locks
+/// ([`simkernel::nslock`]) the threads only contend when they land on the
+/// same directory in the same instant.  File names carry the creating
+/// thread's index, so no two threads ever race on the same path.
+///
+/// # Errors
+///
+/// Propagates file system errors.
+pub fn create_crossdir_micro(
+    vfs: &Arc<Vfs>,
+    file_size: usize,
+    threads: usize,
+    duration: Duration,
+) -> KernelResult<WorkloadResult> {
+    let pool = (2 * threads).max(1);
+    for d in 0..pool {
+        vfs.mkdir(&format!("/crossdir-{d}"))?;
+    }
+    let vfs2 = Arc::clone(vfs);
+    run_timed("create-crossdir", threads, duration, move |t, _rng, iteration| {
+        let dir = (t as u64 + iteration) % pool as u64;
+        let path = format!("/crossdir-{dir}/f-{t}-{iteration}");
+        let fd = vfs2.open(&path, OpenFlags::WRONLY.with(OpenFlags::CREAT))?;
+        let written = write_fully(&vfs2, fd, file_size as u64, file_size.max(1))?;
+        vfs2.close(fd)?;
+        Ok((1, written))
+    })
+}
+
+/// Cross-directory rename storm: two pools of shared directories
+/// (`/xpool-a-*`, `/xpool-b-*`); each thread owns one file and bounces it
+/// between the pools, so every iteration is a cross-directory rename whose
+/// two parents live in directories shared with the other threads.
+///
+/// The source/destination directory for thread `t` at iteration `i` is a
+/// pure function of `(t, i)`, so each rename's source is exactly the
+/// previous iteration's destination and threads never collide on paths —
+/// but they constantly overlap on *directories*, which is the point: this
+/// is the workload that exercises [`DirLockTable::lock_pair`]'s
+/// ascending-inum ordering from every argument order at once.
+///
+/// [`DirLockTable::lock_pair`]: simkernel::nslock::DirLockTable::lock_pair
+///
+/// # Errors
+///
+/// Propagates file system errors.
+pub fn rename_storm(
+    vfs: &Arc<Vfs>,
+    threads: usize,
+    duration: Duration,
+) -> KernelResult<WorkloadResult> {
+    let pool = threads.div_ceil(2).max(2);
+    for d in 0..pool {
+        vfs.mkdir(&format!("/xpool-a-{d}"))?;
+        vfs.mkdir(&format!("/xpool-b-{d}"))?;
+    }
+    // dir(t, i): pool side alternates with the iteration parity, the index
+    // walks the pool, so consecutive iterations chain src -> dst -> src.
+    let dir_at = move |t: usize, i: u64| -> String {
+        let side = if i.is_multiple_of(2) { 'a' } else { 'b' };
+        let idx = (t as u64 + i) % pool as u64;
+        format!("/xpool-{side}-{idx}")
+    };
+    for t in 0..threads {
+        let fd = vfs
+            .open(&format!("{}/mv-{t}", dir_at(t, 0)), OpenFlags::WRONLY.with(OpenFlags::CREAT))?;
+        vfs.close(fd)?;
+    }
+    let vfs2 = Arc::clone(vfs);
+    run_timed("rename-storm", threads, duration, move |t, _rng, iteration| {
+        let src = format!("{}/mv-{t}", dir_at(t, iteration));
+        let dst = format!("{}/mv-{t}", dir_at(t, iteration + 1));
+        vfs2.rename(&src, &dst)?;
+        Ok((1, 0))
+    })
+}
+
 /// The filebench `deletefiles` microbenchmark: `precreated` files per thread
 /// are created beforehand; the measured phase deletes them.
 ///
@@ -642,6 +724,36 @@ mod tests {
         let deleted = delete_micro(&vfs, 50, 1024, 2, Duration::from_millis(100)).unwrap();
         assert!(deleted.operations > 0);
         assert!(deleted.operations <= 100, "cannot delete more than precreated");
+    }
+
+    #[test]
+    fn crossdir_create_spreads_over_shared_directories() {
+        let vfs = memfs_vfs();
+        let result = create_crossdir_micro(&vfs, 1024, 4, Duration::from_millis(60)).unwrap();
+        assert!(result.operations > 0);
+        assert_eq!(result.bytes, result.operations * 1024);
+        // The shared pool exists and at least the first directory got files.
+        for d in 0..8 {
+            assert!(vfs.exists(&format!("/crossdir-{d}")), "pool dir {d}");
+        }
+    }
+
+    #[test]
+    fn rename_storm_chains_renames_without_losing_files() {
+        let vfs = memfs_vfs();
+        let threads = 4;
+        let result = rename_storm(&vfs, threads, Duration::from_millis(60)).unwrap();
+        assert!(result.operations > 0);
+        // Every thread's file still exists exactly once, somewhere in the
+        // two pools — a lost or duplicated file means a rename bug.
+        let pool = threads.div_ceil(2).max(2);
+        for t in 0..threads {
+            let found: usize = (0..pool)
+                .flat_map(|d| [format!("/xpool-a-{d}/mv-{t}"), format!("/xpool-b-{d}/mv-{t}")])
+                .filter(|p| vfs.exists(p))
+                .count();
+            assert_eq!(found, 1, "thread {t}'s file must exist exactly once");
+        }
     }
 
     #[test]

@@ -81,6 +81,39 @@ impl MountedStack {
     pub fn unmount(&self) -> KernelResult<()> {
         self.vfs.unmount("/")
     }
+
+    /// Unmounts the stack and, for the two xv6 variants, runs the offline
+    /// consistency checker over the raw device, failing if the on-disk
+    /// image violates any invariant.
+    ///
+    /// This is the gate concurrency experiments run through: a locking bug
+    /// in the per-directory namespace paths (lost dirent, double-allocated
+    /// inode, bad nlink) surfaces here as a hard error rather than a
+    /// quietly wrong throughput row.  The FUSE stack shares xv6's on-disk
+    /// format but its daemon model replays through the same code, and
+    /// ext4sim has its own in-memory checker, so those two just unmount.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unmount errors; reports fsck violations as `Io` errors
+    /// listing every violated invariant.
+    pub fn unmount_and_check(&self) -> KernelResult<()> {
+        self.unmount()?;
+        match self.stack {
+            FsStack::BentoXv6 | FsStack::VfsXv6 => {
+                let report = xv6fs::fsck::fsck_device(&self.device)?;
+                if !report.is_clean() {
+                    eprintln!("fsck violations after unmount: {:?}", report.errors);
+                    return Err(simkernel::error::KernelError::with_context(
+                        simkernel::error::Errno::Io,
+                        "fsck found on-disk violations after unmount",
+                    ));
+                }
+                Ok(())
+            }
+            FsStack::FuseXv6 | FsStack::Ext4 => Ok(()),
+        }
+    }
 }
 
 /// Mounts `stack` at `/` of a fresh VFS over a RAM-backed SSD of

@@ -29,11 +29,12 @@ pub mod log;
 
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 
 use simkernel::buffer::BufferCache;
 use simkernel::dev::BlockDevice;
 use simkernel::error::{Errno, KernelError, KernelResult};
+use simkernel::nslock::DirLockTable;
 use simkernel::shard::ShardedMap;
 use simkernel::vfs::{
     DirEntry, FileMode, FilesystemType, InodeAttr, MountOptions, OpenFlags, SetAttr, StatFs, VfsFs,
@@ -68,7 +69,10 @@ pub struct Xv6VfsFilesystem {
     log: VfsLog,
     inodes: ShardedMap<u32, Arc<RwLock<InodeData>>>,
     alloc: AllocGroups,
-    namespace: Mutex<()>,
+    /// Per-directory namespace locks (ascending-inum ordering; see
+    /// [`simkernel::nslock`]): directory-restructuring operations lock only
+    /// the parent directories they modify.
+    dir_locks: DirLockTable,
     opens: ShardedMap<u32, u32>,
 }
 
@@ -116,7 +120,7 @@ impl Xv6VfsFilesystem {
             log,
             inodes: ShardedMap::new(0),
             alloc,
-            namespace: Mutex::new(()),
+            dir_locks: DirLockTable::new(),
             opens: ShardedMap::new(0),
         };
         fs.log.recover(&fs.cache)?;
@@ -654,7 +658,7 @@ impl VfsFs for Xv6VfsFilesystem {
     }
 
     fn create(&self, dir: u64, name: &str, _mode: FileMode) -> KernelResult<InodeAttr> {
-        let _ns = self.namespace.lock();
+        let _dir = self.dir_locks.lock(dir);
         self.log.begin_op();
         let result = (|| {
             let dir = dir as u32;
@@ -672,15 +676,15 @@ impl VfsFs for Xv6VfsFilesystem {
             self.dirlink(dir, &mut parent, name, inum)?;
             Ok(child.attr(inum))
         })();
-        // Commit outside the namespace lock so concurrent creators keep
+        // Commit outside the directory lock so concurrent creators keep
         // forming the next group while this one writes its barriers.
-        drop(_ns);
+        drop(_dir);
         self.log.end_op(&self.cache)?;
         result
     }
 
     fn mkdir(&self, dir: u64, name: &str, _mode: FileMode) -> KernelResult<InodeAttr> {
-        let _ns = self.namespace.lock();
+        let _dir = self.dir_locks.lock(dir);
         self.log.begin_op();
         let result = (|| {
             let dir = dir as u32;
@@ -702,7 +706,7 @@ impl VfsFs for Xv6VfsFilesystem {
             self.dirlink(dir, &mut parent, name, inum)?;
             Ok(child.attr(inum))
         })();
-        drop(_ns);
+        drop(_dir);
         self.log.end_op(&self.cache)?;
         result
     }
@@ -714,7 +718,7 @@ impl VfsFs for Xv6VfsFilesystem {
                 "xv6fs-vfs: cannot unlink dot entries",
             ));
         }
-        let _ns = self.namespace.lock();
+        let _dir = self.dir_locks.lock(dir);
         self.log.begin_op();
         let reap: KernelResult<Option<u32>> = (|| {
             let dir = dir as u32;
@@ -736,7 +740,7 @@ impl VfsFs for Xv6VfsFilesystem {
             self.write_dinode(inum, &child)?;
             Ok((child.nlink == 0 && self.opens.get(&inum).unwrap_or(0) == 0).then_some(inum))
         })();
-        drop(_ns);
+        drop(_dir);
         self.log.end_op(&self.cache)?;
         if let Some(inum) = reap? {
             let arc = self.inode(inum);
@@ -754,7 +758,7 @@ impl VfsFs for Xv6VfsFilesystem {
                 "xv6fs-vfs: cannot rmdir dot entries",
             ));
         }
-        let _ns = self.namespace.lock();
+        let _dir = self.dir_locks.lock(dir);
         self.log.begin_op();
         let reap: KernelResult<u32> = (|| {
             let dir = dir as u32;
@@ -791,7 +795,7 @@ impl VfsFs for Xv6VfsFilesystem {
             self.write_dinode(inum, &child)?;
             Ok(inum)
         })();
-        drop(_ns);
+        drop(_dir);
         self.log.end_op(&self.cache)?;
         let inum = reap?;
         let arc = self.inode(inum);
@@ -807,7 +811,9 @@ impl VfsFs for Xv6VfsFilesystem {
                 "xv6fs-vfs: cannot rename dot entries",
             ));
         }
-        let _ns = self.namespace.lock();
+        // Both parent directories, in ascending-inum order (same-dir rename
+        // takes a single lock).
+        let _ns = self.dir_locks.lock_pair(olddir, newdir);
         // Remove any existing target first (outside the main transaction the
         // same way unlink would).
         {
@@ -834,8 +840,9 @@ impl VfsFs for Xv6VfsFilesystem {
                     t.is_dir()
                 };
                 drop(target_arc);
-                // Reuse unlink/rmdir logic without the namespace lock (we
-                // already hold it): inline minimal removal.
+                // Reuse unlink/rmdir logic after releasing the pair lock:
+                // those ops take the new parent's directory lock themselves,
+                // and the retry below re-acquires the pair from scratch.
                 drop(_ns);
                 if is_dir {
                     self.rmdir(newdir, newname)?;
@@ -895,7 +902,7 @@ impl VfsFs for Xv6VfsFilesystem {
     }
 
     fn link(&self, ino: u64, newdir: u64, newname: &str) -> KernelResult<InodeAttr> {
-        let _ns = self.namespace.lock();
+        let _ns = self.dir_locks.lock(newdir);
         self.log.begin_op();
         let result = (|| {
             let inum = ino as u32;

@@ -68,7 +68,7 @@ impl FsCore {
     fn claim_free_block(&self, sb: &SuperBlock, from: u64, to: u64) -> KernelResult<Option<u64>> {
         let mut blockno = from;
         while blockno < to {
-            let mut bblock = sb.bread(self.dsb.bitmap_block(blockno))?;
+            let mut bblock = sb.bread(self.dsb().bitmap_block(blockno))?;
             // First block covered by this bitmap block, and the scan end
             // within it.
             let base = blockno - (blockno % BPB as u64);
@@ -108,7 +108,7 @@ impl FsCore {
         let index = (blockno % BPB as u64) as usize;
         let byte = index / 8;
         let bit = 1u8 << (index % 8);
-        let mut bblock = sb.bread(self.dsb.bitmap_block(blockno))?;
+        let mut bblock = sb.bread(self.dsb().bitmap_block(blockno))?;
         if bblock.data()[byte] & bit == 0 {
             return Err(KernelError::with_context(Errno::Inval, "xv6fs: freeing a free block"));
         }
@@ -177,10 +177,10 @@ impl FsCore {
     ) -> KernelResult<Option<u32>> {
         let mut inum = from;
         while inum < to {
-            let blockno = self.dsb.inode_block(inum);
+            let blockno = self.dsb().inode_block(inum);
             let mut block = sb.bread(blockno)?;
             let mut candidate = inum;
-            while candidate < to && self.dsb.inode_block(candidate) == blockno {
+            while candidate < to && self.dsb().inode_block(candidate) == blockno {
                 let offset = DiskSuperblock::inode_offset(candidate);
                 // The type field alone distinguishes free slots; decoding
                 // the whole inode per candidate is wasted work.
@@ -200,7 +200,7 @@ impl FsCore {
 
     /// First block usable for file data (everything before it is metadata).
     pub fn first_data_block(&self) -> u64 {
-        self.dsb.data_start()
+        self.dsb().data_start()
     }
 
     /// Counts allocated data blocks (cached per group after the first
@@ -221,7 +221,7 @@ impl FsCore {
             let mut used = 0u64;
             let mut blockno = lo;
             while blockno < hi {
-                let bblock = sb.bread(self.dsb.bitmap_block(blockno))?;
+                let bblock = sb.bread(self.dsb().bitmap_block(blockno))?;
                 let base = blockno - (blockno % BPB as u64);
                 let end = hi.min(base + BPB as u64);
                 for b in blockno..end {
@@ -257,9 +257,9 @@ impl FsCore {
             let mut used = 0u64;
             let mut inum = lo;
             while inum < hi {
-                let blockno = self.dsb.inode_block(inum);
+                let blockno = self.dsb().inode_block(inum);
                 let block = sb.bread(blockno)?;
-                while inum < hi && self.dsb.inode_block(inum) == blockno {
+                while inum < hi && self.dsb().inode_block(inum) == blockno {
                     if get_u16(block.data(), DiskSuperblock::inode_offset(inum)) != T_FREE {
                         used += 1;
                     }
@@ -274,7 +274,7 @@ impl FsCore {
 
     /// Total data blocks available to files.
     pub fn total_data_blocks(&self) -> u64 {
-        (self.dsb.size as u64).saturating_sub(self.first_data_block())
+        (self.dsb().size as u64).saturating_sub(self.first_data_block())
     }
 }
 
@@ -412,7 +412,7 @@ mod tests {
                 assert_eq!(core.alloc.group_of_inode(i), g);
             }
         }
-        assert_eq!(blocks_covered, core.dsb.size as u64 - core.first_data_block());
-        assert_eq!(inodes_covered, core.dsb.ninodes as u64 - 1);
+        assert_eq!(blocks_covered, core.dsb().size as u64 - core.first_data_block());
+        assert_eq!(inodes_covered, core.dsb().ninodes as u64 - 1);
     }
 }

@@ -4,11 +4,13 @@
 //! by the caller (see [`crate::fs`]).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
 
 use bento::bentoks::SuperBlock;
 use simkernel::error::{Errno, KernelError, KernelResult};
+use simkernel::nslock::DirLockTable;
 use simkernel::shard::{resolve_shards, ShardedMap, StripedCounter};
 
 use crate::inode::{InodeCache, InodeData};
@@ -227,12 +229,34 @@ impl AllocGroups {
     }
 }
 
-/// The core of a mounted xv6 file system: on-disk geometry, the log, the
-/// inode cache, allocation state, and open-file tracking.
+/// The read-mostly half of a mounted file system: everything that is fixed
+/// once the superblock has been decoded at mount time.
+///
+/// No lock protects this struct — none is needed.  It is built once during
+/// mount/upgrade-attach, shared behind an `Arc`, and only ever read
+/// afterwards, so every operation reaches the geometry (inode-table
+/// layout, bitmap placement, device size) without touching a shared cache
+/// line in writable mode.  The mutable state of the mount (inode cache,
+/// allocation cursors, open tables, directory locks, counters) lives in
+/// [`FsCore`], each piece sharded or striped on its own.
 #[derive(Debug)]
-pub struct FsCore {
+pub struct FsGeometry {
     /// Decoded on-disk superblock.
     pub dsb: DiskSuperblock,
+    /// First data block (cached from `dsb.data_start()`).
+    pub data_start: u64,
+    /// Resolved allocation-group count applied at mount.
+    pub alloc_groups: usize,
+}
+
+/// The core of a mounted xv6 file system: immutable geometry
+/// ([`FsGeometry`]) plus the sharded mutable state — the log, the inode
+/// cache, allocation cursors, open-file tracking, and the per-directory
+/// namespace locks.
+#[derive(Debug)]
+pub struct FsCore {
+    /// Immutable-after-mount geometry (superblock, layout, alloc config).
+    pub geo: Arc<FsGeometry>,
     /// The write-ahead log.
     pub log: Log,
     /// The inode cache (sharded; see [`InodeCache`]).
@@ -242,8 +266,10 @@ pub struct FsCore {
     /// Open handle counts per inode (for deferred free of unlinked files).
     /// Sharded so open/release of different inodes do not contend.
     pub opens: ShardedMap<u32, u32>,
-    /// Serializes directory-tree restructuring operations.
-    pub namespace: Mutex<()>,
+    /// Per-directory namespace locks: directory-tree restructuring
+    /// operations lock only the parent directories they modify, in
+    /// ascending-inum order (see [`simkernel::nslock`]).
+    pub dir_locks: DirLockTable,
     /// Activity counters (striped; see [`FsCounters`]).
     pub stats: FsCounters,
 }
@@ -259,15 +285,22 @@ impl FsCore {
     /// default; rounded to a power of two).
     pub fn with_alloc_groups(dsb: DiskSuperblock, alloc_groups: usize) -> Self {
         let data_start = dsb.data_start();
+        let alloc = AllocGroups::new(&dsb, data_start, alloc_groups);
+        let geo = Arc::new(FsGeometry { data_start, alloc_groups: alloc.group_count(), dsb });
         FsCore {
-            log: Log::new(&dsb),
-            alloc: AllocGroups::new(&dsb, data_start, alloc_groups),
-            dsb,
+            log: Log::new(&geo.dsb),
+            alloc,
+            geo,
             icache: InodeCache::new(),
             opens: ShardedMap::new(0),
-            namespace: Mutex::new(()),
+            dir_locks: DirLockTable::new(),
             stats: FsCounters::default(),
         }
+    }
+
+    /// The decoded on-disk superblock (immutable after mount).
+    pub fn dsb(&self) -> &DiskSuperblock {
+        &self.geo.dsb
     }
 
     // -- inode I/O -----------------------------------------------------------
@@ -281,13 +314,13 @@ impl FsCore {
         if data.valid {
             return Ok(());
         }
-        if inum as u64 >= self.dsb.ninodes as u64 {
+        if inum as u64 >= self.dsb().ninodes as u64 {
             return Err(KernelError::with_context(
                 Errno::NoEnt,
                 "xv6fs: inode number out of range",
             ));
         }
-        let block = sb.bread(self.dsb.inode_block(inum))?;
+        let block = sb.bread(self.dsb().inode_block(inum))?;
         let dinode = Dinode::decode(block.data(), DiskSuperblock::inode_offset(inum));
         if dinode.ftype == T_FREE {
             return Err(KernelError::with_context(Errno::NoEnt, "xv6fs: inode is free"));
@@ -303,7 +336,7 @@ impl FsCore {
     ///
     /// Propagates I/O and log errors.
     pub fn update_inode(&self, sb: &SuperBlock, inum: u32, data: &InodeData) -> KernelResult<()> {
-        let blockno = self.dsb.inode_block(inum);
+        let blockno = self.dsb().inode_block(inum);
         let mut block = sb.bread(blockno)?;
         data.to_dinode().encode(block.data_mut(), DiskSuperblock::inode_offset(inum));
         self.log.log_write(&block)
@@ -587,7 +620,7 @@ impl FsCore {
         data.size = 0;
         data.valid = false;
         let dinode = Dinode::default();
-        let blockno = self.dsb.inode_block(inum);
+        let blockno = self.dsb().inode_block(inum);
         let mut block = sb.bread(blockno)?;
         dinode.encode(block.data_mut(), DiskSuperblock::inode_offset(inum));
         self.log.log_write(&block)?;

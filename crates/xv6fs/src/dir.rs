@@ -175,7 +175,7 @@ impl FsCore {
                 // in-memory inode lock: readdir may encounter "." and ".."
                 // whose locks are held by the caller or by concurrent
                 // namespace operations, and the type is advisory anyway.
-                let iblock = sb.bread(self.dsb.inode_block(entry.inum))?;
+                let iblock = sb.bread(self.dsb().inode_block(entry.inum))?;
                 let dinode = crate::layout::Dinode::decode(
                     iblock.data(),
                     crate::layout::DiskSuperblock::inode_offset(entry.inum),

@@ -9,12 +9,30 @@
 //!
 //! ## Locking protocol
 //!
+//! * The outer `RwLock<Option<Arc<FsCore>>>` is a **mount-lifecycle guard
+//!   only**: operations take the read side just long enough to clone the
+//!   `Arc`, then run against the core with no outer lock held.  Quiescence
+//!   for upgrade/unmount is provided one layer up — BentoFS swaps the
+//!   `FileSystem` box under its own write lock, which drains in-flight
+//!   operations first.
 //! * Operations that restructure the namespace (create, mkdir, unlink,
-//!   rmdir, rename, link) serialize on `FsCore::namespace` and may hold
-//!   several inode locks (parent before child).
-//! * All other operations hold at most one inode lock at a time, which makes
-//!   lock-order cycles impossible between the two classes.
-//! * Block and inode allocation is protected by the allocation lock (§6.1).
+//!   rmdir, rename, link) lock only the **parent directories they modify**
+//!   through `FsCore::dir_locks` — a per-directory lock table keyed by
+//!   inode number.  Multi-directory operations (cross-directory rename)
+//!   acquire both parent locks in **ascending inode number** order
+//!   (`DirLockTable::lock_pair`); debug builds panic on any descending
+//!   acquisition.  Threads mutating different directories share no
+//!   namespace lock at all.
+//! * Inode data locks nest strictly inside directory locks (parent
+//!   directory lock → parent/child inode locks); non-namespace operations
+//!   hold at most one inode lock at a time, which keeps lock-order cycles
+//!   impossible between the two classes.
+//! * Block and inode allocation is protected by the per-group allocation
+//!   locks (§6.1), which nest below everything above.
+//! * Directory locks are released **before** `end_op`, so group commit
+//!   (device barriers) always runs outside the namespace locks.
+
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
@@ -42,7 +60,11 @@ const TRUNC_CHUNK_BLOCKS: u64 = 1024;
 /// A fresh instance is "empty" until [`FileSystem::init`] (normal mount) or
 /// [`FileSystem::restore_state`] (online upgrade) attaches it to a device.
 pub struct Xv6FileSystem {
-    core: RwLock<Option<FsCore>>,
+    /// Mount-lifecycle guard: `Some` while attached.  Ops clone the `Arc`
+    /// under a brief read hold and release the lock before doing any work,
+    /// so mount/unmount transitions never wait behind a long operation and
+    /// operations never serialize on this lock.
+    core: RwLock<Option<Arc<FsCore>>>,
     label: &'static str,
     /// Allocation-group count applied at mount (`0` = default).
     alloc_groups: usize,
@@ -110,11 +132,17 @@ impl Xv6FileSystem {
     }
 
     fn with_core<T>(&self, f: impl FnOnce(&FsCore) -> KernelResult<T>) -> KernelResult<T> {
-        let guard = self.core.read();
-        let core = guard
-            .as_ref()
-            .ok_or_else(|| KernelError::with_context(Errno::Io, "xv6fs: not mounted"))?;
-        f(core)
+        // Clone the Arc under a brief read hold and drop the guard before
+        // running the operation: the outer lock only gates mount-lifecycle
+        // transitions, never serializes operations against each other.
+        let core = {
+            let guard = self.core.read();
+            guard
+                .as_ref()
+                .cloned()
+                .ok_or_else(|| KernelError::with_context(Errno::Io, "xv6fs: not mounted"))?
+        };
+        f(&core)
     }
 
     fn attach(&self, sb: &SuperBlock) -> KernelResult<()> {
@@ -124,7 +152,7 @@ impl Xv6FileSystem {
         if (dsb.size as u64) > sb.nblocks() {
             return Err(KernelError::with_context(Errno::Inval, "xv6fs: image larger than device"));
         }
-        let core = FsCore::with_alloc_groups(dsb, self.alloc_groups);
+        let core = Arc::new(FsCore::with_alloc_groups(dsb, self.alloc_groups));
         core.log.recover(sb)?;
         *self.core.write() = Some(core);
         Ok(())
@@ -212,8 +240,8 @@ impl FileSystem for Xv6FileSystem {
                 total_blocks: total,
                 free_blocks: total.saturating_sub(used),
                 block_size: BSIZE as u32,
-                total_inodes: core.dsb.ninodes as u64,
-                free_inodes: (core.dsb.ninodes as u64).saturating_sub(used_inodes),
+                total_inodes: core.dsb().ninodes as u64,
+                free_inodes: (core.dsb().ninodes as u64).saturating_sub(used_inodes),
                 name_max: DIRSIZ as u32,
             })
         })
@@ -278,11 +306,13 @@ impl FileSystem for Xv6FileSystem {
         _flags: OpenFlags,
     ) -> KernelResult<CreateReply> {
         self.with_core(|core| {
-            // The namespace lock is released before end_op so the group
-            // commit (barriers) runs outside it: other creators proceed and
-            // absorb into the forming group instead of serializing.
+            // Only the parent directory is locked, and the lock is released
+            // before end_op so the group commit (barriers) runs outside it:
+            // creators in other directories never even touch this lock, and
+            // creators here absorb into the forming group instead of
+            // serializing behind the commit.
             let result = {
-                let _ns = core.namespace.lock();
+                let _dir = core.dir_locks.lock(parent);
                 core.log.begin_op();
                 (|| {
                     let parent = parent as u32;
@@ -320,7 +350,7 @@ impl FileSystem for Xv6FileSystem {
     ) -> KernelResult<InodeAttr> {
         self.with_core(|core| {
             let result = {
-                let _ns = core.namespace.lock();
+                let _dir = core.dir_locks.lock(parent);
                 core.log.begin_op();
                 (|| {
                     let parent = parent as u32;
@@ -360,7 +390,7 @@ impl FileSystem for Xv6FileSystem {
         }
         self.with_core(|core| {
             let reap: KernelResult<Option<u32>> = {
-                let _ns = core.namespace.lock();
+                let _dir = core.dir_locks.lock(parent);
                 core.log.begin_op();
                 (|| {
                     let parent = parent as u32;
@@ -403,7 +433,7 @@ impl FileSystem for Xv6FileSystem {
         }
         self.with_core(|core| {
             let reap: KernelResult<u32> = {
-                let _ns = core.namespace.lock();
+                let _dir = core.dir_locks.lock(parent);
                 core.log.begin_op();
                 (|| {
                     let parent = parent as u32;
@@ -458,7 +488,9 @@ impl FileSystem for Xv6FileSystem {
             return Err(KernelError::with_context(Errno::Inval, "xv6fs: cannot rename . or .."));
         }
         self.with_core(|core| {
-            let _ns = core.namespace.lock();
+            // Both parent directories, in ascending-inum order (same-dir
+            // rename takes a single lock).
+            let _ns = core.dir_locks.lock_pair(parent, newparent);
             core.log.begin_op();
             let reap: KernelResult<Option<u32>> = (|| {
                 let old_parent = parent as u32;
@@ -565,7 +597,7 @@ impl FileSystem for Xv6FileSystem {
         newname: &str,
     ) -> KernelResult<InodeAttr> {
         self.with_core(|core| {
-            let _ns = core.namespace.lock();
+            let _ns = core.dir_locks.lock(newparent);
             core.log.begin_op();
             let result = (|| {
                 let inum = ino as u32;
