@@ -10,11 +10,38 @@ use std::collections::BTreeSet;
 
 use bench::{
     crash_experiment, fig2_read_4k, fig3_read_throughput, fig4_write_throughput, load_experiment,
-    load_smoke_experiment, print_rows, report_to_json, scaling_experiment,
+    load_smoke_experiment, obs_experiment, print_rows, report_to_json, scaling_experiment,
     scaling_experiment_with_threads, table1_bug_analysis, table2_mechanism_comparison,
     table4_create, table5_delete, table6_macrobenchmarks, ExperimentConfig, Row, RunMeta,
     SCALING_SMOKE_THREADS,
 };
+
+/// Runs one experiment, appends an `elapsed` row recording how long it took
+/// (wall clock, whole experiment including mounts), and folds the rows into
+/// the report; a failure is printed and counted, not fatal to other
+/// experiments.
+fn run(
+    all_rows: &mut Vec<Row>,
+    failures: &mut usize,
+    name: &str,
+    title: &str,
+    experiment: impl FnOnce() -> Result<Vec<Row>, simkernel::error::KernelError>,
+) {
+    let start = std::time::Instant::now();
+    let result = experiment();
+    let elapsed = start.elapsed().as_secs_f64();
+    match result {
+        Ok(mut rows) => {
+            rows.push(Row::new(name, "elapsed", "-", elapsed, "seconds", None));
+            print_rows(title, &rows);
+            all_rows.extend(rows);
+        }
+        Err(e) => {
+            eprintln!("{name} failed after {elapsed:.1}s: {e}");
+            *failures += 1;
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,7 +55,7 @@ fn main() {
     if selected.is_empty() || selected.contains("all") {
         selected = [
             "table1", "table2", "fig2", "fig3", "fig4", "table4", "table5", "table6", "scaling",
-            "crash", "load",
+            "crash", "load", "obs",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -44,22 +71,6 @@ fn main() {
 
     let mut all_rows: Vec<Row> = Vec::new();
     let mut failures = 0usize;
-    let run = |all_rows: &mut Vec<Row>,
-               failures: &mut usize,
-               name: &str,
-               rows: Result<Vec<Row>, simkernel::error::KernelError>,
-               title: &str| {
-        match rows {
-            Ok(rows) => {
-                print_rows(title, &rows);
-                all_rows.extend(rows);
-            }
-            Err(e) => {
-                eprintln!("{name} failed: {e}");
-                *failures += 1;
-            }
-        }
-    };
 
     if selected.contains("table1") {
         let rows = table1_bug_analysis();
@@ -80,35 +91,27 @@ fn main() {
             &mut all_rows,
             &mut failures,
             "fig2",
-            fig2_read_4k(&cfg),
             "Figure 2: 4 KiB read performance (ops/sec)",
+            || fig2_read_4k(&cfg),
         );
     }
     if selected.contains("fig3") {
-        run(
-            &mut all_rows,
-            &mut failures,
-            "fig3",
-            fig3_read_throughput(&cfg),
-            "Figure 3: read throughput (MB/s)",
-        );
+        run(&mut all_rows, &mut failures, "fig3", "Figure 3: read throughput (MB/s)", || {
+            fig3_read_throughput(&cfg)
+        });
     }
     if selected.contains("fig4") {
-        run(
-            &mut all_rows,
-            &mut failures,
-            "fig4",
-            fig4_write_throughput(&cfg),
-            "Figure 4: write throughput (MB/s)",
-        );
+        run(&mut all_rows, &mut failures, "fig4", "Figure 4: write throughput (MB/s)", || {
+            fig4_write_throughput(&cfg)
+        });
     }
     if selected.contains("table4") {
         run(
             &mut all_rows,
             &mut failures,
             "table4",
-            table4_create(&cfg),
             "Table 4: create microbenchmark (ops/sec)",
+            || table4_create(&cfg),
         );
     }
     if selected.contains("table5") {
@@ -116,27 +119,17 @@ fn main() {
             &mut all_rows,
             &mut failures,
             "table5",
-            table5_delete(&cfg),
             "Table 5: delete microbenchmark (ops/sec)",
+            || table5_delete(&cfg),
         );
     }
     if selected.contains("table6") {
-        run(
-            &mut all_rows,
-            &mut failures,
-            "table6",
-            table6_macrobenchmarks(&cfg),
-            "Table 6: macrobenchmarks",
-        );
+        run(&mut all_rows, &mut failures, "table6", "Table 6: macrobenchmarks", || {
+            table6_macrobenchmarks(&cfg)
+        });
     }
     if selected.contains("scaling") {
-        run(
-            &mut all_rows,
-            &mut failures,
-            "scaling",
-            scaling_experiment(&cfg),
-            "Scaling: 1-32 threads, zero-cost device, disjoint files (ops/sec + write-path batching)",
-        );
+        run(&mut all_rows, &mut failures, "scaling", "Scaling: 1-32 threads, zero-cost device, disjoint files (ops/sec + write-path batching)", || scaling_experiment(&cfg));
     }
     if selected.contains("crash") {
         // Crash-consistency: enumerate crash states of a seeded 200-op
@@ -146,8 +139,8 @@ fn main() {
             &mut all_rows,
             &mut failures,
             "crash",
-            crash_experiment(&cfg),
             "Crash: seeded crash-state enumeration, fsck + durability oracles",
+            || crash_experiment(&cfg),
         );
     }
     if selected.contains("load") {
@@ -159,8 +152,8 @@ fn main() {
             &mut all_rows,
             &mut failures,
             "load",
-            load_experiment(&cfg),
             "Load: personalities × stacks, latency percentiles, upgrade + EIO under load",
+            || load_experiment(&cfg),
         );
     }
     if selected.contains("load-smoke") {
@@ -170,8 +163,8 @@ fn main() {
             &mut all_rows,
             &mut failures,
             "load-smoke",
-            load_smoke_experiment(&cfg),
             "Load smoke: varmail closed-loop on Bento / C-Kernel / Ext4",
+            || load_smoke_experiment(&cfg),
         );
     }
     if selected.contains("scaling-smoke") {
@@ -181,8 +174,21 @@ fn main() {
             &mut all_rows,
             &mut failures,
             "scaling-smoke",
-            scaling_experiment_with_threads(&cfg, &SCALING_SMOKE_THREADS),
             "Scaling smoke: 1 and 8 threads, write-path batching counters",
+            || scaling_experiment_with_threads(&cfg, &SCALING_SMOKE_THREADS),
+        );
+    }
+    if selected.contains("obs") {
+        // Observability: disabled-path hook cost (gated), traced varmail +
+        // fileserver on all three load stacks with per-phase p50/p99
+        // attribution, span-coverage and reconciliation gates, unified
+        // registry counters, and the trace-on/off overhead probe.
+        run(
+            &mut all_rows,
+            &mut failures,
+            "obs",
+            "Obs: phase-attributed tail latency, span coverage gates, metrics registry",
+            || obs_experiment(&cfg),
         );
     }
 

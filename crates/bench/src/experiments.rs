@@ -707,6 +707,33 @@ pub fn scaling_experiment_with_threads(
         ));
         mounted.unmount()?;
     }
+    // Phase-attributed create: the same create-heavy traffic through the
+    // load generator's span tracing, so the scaling story reports *where*
+    // the per-op time goes (namespace lock vs log reservation vs commit
+    // vs device), not just how many ops completed.  Runs on the Bento
+    // stack under the scaled NVMe model so device time is visible.
+    let create_spec = loadgen::WorkloadSpec {
+        name: "create-phase".to_string(),
+        fileset: loadgen::FileSetSpec {
+            dir_width: 4,
+            depth: 1,
+            files: 40,
+            size: loadgen::SizeDist::Fixed(4096),
+        },
+        mix: loadgen::OpMix::new(&[(loadgen::OpKind::Create, 1)]),
+        zipf_theta: 0.0,
+        io_size: 4096,
+        append_size: 0,
+        replay: None,
+    };
+    let mounted = mount_stack(FsStack::BentoXv6, CostModel::nvme_ssd_scaled(8), cfg.disk_blocks)?;
+    let load_cfg = loadgen::LoadConfig::closed(8, cfg.duration);
+    loadgen::prepare(&mounted.vfs, &create_spec, &load_cfg)?;
+    let tracing = simkernel::trace::enable();
+    let traced = loadgen::run_load(&mounted.vfs, &create_spec, &load_cfg)?;
+    drop(tracing);
+    rows.extend(phase_breakdown_rows("scaling", "create-8t", FsStack::BentoXv6.label(), &traced));
+    mounted.unmount()?;
     Ok(rows)
 }
 
@@ -784,17 +811,24 @@ pub fn crash_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
 pub const LOAD_STACKS: [FsStack; 3] = [FsStack::BentoXv6, FsStack::VfsXv6, FsStack::Ext4];
 
 /// Runs one personality closed-loop on a fresh mount and returns its BENCH
-/// rows: throughput plus the p50/p90/p99/p99.9 latency quartet.
+/// rows: throughput plus the p50/p90/p99/p99.9 latency quartet, per-class
+/// error counts, and — when `traced` — the per-phase latency attribution
+/// ([`phase_breakdown_rows`]).  `load-smoke` runs untraced on purpose: it
+/// is the disabled-path reference the overhead methodology compares
+/// against (see EXPERIMENTS.md).
 fn load_personality_rows(
     stack: FsStack,
     spec: &loadgen::WorkloadSpec,
     cfg: &ExperimentConfig,
     duration: Duration,
+    traced: bool,
 ) -> KernelResult<Vec<Row>> {
     let mounted = mount_stack(stack, cfg.model.clone(), cfg.disk_blocks)?;
     let load_cfg = loadgen::LoadConfig::closed(cfg.macro_threads, duration);
     loadgen::prepare(&mounted.vfs, spec, &load_cfg)?;
+    let tracing = traced.then(simkernel::trace::enable);
     let result = loadgen::run_load(&mounted.vfs, spec, &load_cfg)?;
+    drop(tracing);
     if !result.is_clean() {
         return Err(simkernel::error::KernelError::with_context(
             simkernel::error::Errno::Io,
@@ -821,8 +855,87 @@ fn load_personality_rows(
             None,
         ));
     }
+    // Per-class error counts: zero on a clean run (this run is gated clean
+    // above), but the row's presence keeps fault-run JSONs comparable.
+    for class in &result.per_op {
+        rows.push(Row::new(
+            "load",
+            &format!("{}-{}-errors", spec.name, class.kind.label()),
+            label,
+            class.errors as f64,
+            "count",
+            None,
+        ));
+    }
+    if traced {
+        rows.extend(phase_breakdown_rows("load", &spec.name, label, &result));
+    }
     mounted.unmount()?;
     Ok(rows)
+}
+
+/// Per-phase latency attribution rows for a traced load run, aggregated
+/// across op classes: `{prefix}-phase-{phase}-p50-us` / `-p99-us` for every
+/// phase any op passed through, plus the share of total service time the
+/// instrumented phases account for (`{prefix}-attributed-share`) and its
+/// complement (`{prefix}-other-share`, path resolution + cache copies +
+/// driver bookkeeping).
+fn phase_breakdown_rows(
+    experiment: &str,
+    prefix: &str,
+    label: &str,
+    result: &loadgen::LoadResult,
+) -> Vec<Row> {
+    use simkernel::metrics::LatencyHistogram;
+    use simkernel::trace::Phase;
+    let mut rows = Vec::new();
+    let mut merged: Vec<LatencyHistogram> =
+        (0..Phase::COUNT).map(|_| LatencyHistogram::new()).collect();
+    let mut attributed_ns = 0u64;
+    let mut total_ns = 0u64;
+    for class in &result.traces {
+        for phase in Phase::ALL {
+            merged[phase.index()].merge(&class.per_phase[phase.index()]);
+        }
+        attributed_ns += class.attributed_ns();
+        total_ns += class.total_sum_ns;
+    }
+    for phase in Phase::ALL {
+        let hist = &merged[phase.index()];
+        if hist.is_empty() {
+            continue;
+        }
+        for p in [50.0, 99.0] {
+            rows.push(Row::new(
+                experiment,
+                &format!("{prefix}-phase-{}-p{p:.0}-us", phase.label()),
+                label,
+                hist.percentile(p) as f64 / 1_000.0,
+                "us",
+                None,
+            ));
+        }
+    }
+    if total_ns > 0 {
+        let share = attributed_ns as f64 / total_ns as f64;
+        rows.push(Row::new(
+            experiment,
+            &format!("{prefix}-attributed-share"),
+            label,
+            share,
+            "fraction",
+            None,
+        ));
+        rows.push(Row::new(
+            experiment,
+            &format!("{prefix}-other-share"),
+            label,
+            1.0 - share,
+            "fraction",
+            None,
+        ));
+    }
+    rows
 }
 
 /// The `load` experiment: the five loadgen personalities (varmail,
@@ -845,7 +958,7 @@ pub fn load_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
     for stack in LOAD_STACKS {
         for spec in loadgen::WorkloadSpec::personalities(cfg.untar_files) {
             let spec = if spec.replay.is_some() { spec } else { spec.with_files(files) };
-            rows.extend(load_personality_rows(stack, &spec, cfg, duration)?);
+            rows.extend(load_personality_rows(stack, &spec, cfg, duration, true)?);
         }
     }
 
@@ -977,8 +1090,224 @@ pub fn load_smoke_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
     let spec = loadgen::WorkloadSpec::varmail().with_files(40);
     let mut rows = Vec::new();
     for stack in LOAD_STACKS {
-        rows.extend(load_personality_rows(stack, &spec, cfg, duration)?);
+        rows.extend(load_personality_rows(stack, &spec, cfg, duration, false)?);
     }
+    Ok(rows)
+}
+
+/// The workloads the `obs` experiment traces on every load stack.
+const OBS_PERSONALITIES: [fn() -> loadgen::WorkloadSpec; 2] =
+    [loadgen::WorkloadSpec::varmail, loadgen::WorkloadSpec::fileserver];
+
+/// The phases a stack's traced run must cover, or the experiment fails:
+/// an op class silently bypassing an instrumented wait point is exactly
+/// the regression this gate exists to catch.
+///
+/// The xv6 stacks journal metadata synchronously inside the op, so every
+/// mix with namespace traffic owes all five phases (namespace locks, the
+/// unified journal's reserve/stage/commit, the device).  ext4sim
+/// deliberately has no per-directory namespace locks and its own staged
+/// transaction instead of the shared WAL's reservation protocol (see the
+/// ext4sim audit note) — and, like real ext4 in writeback mode, its
+/// journal only runs inside an op span when `fsync` forces it.  A mix
+/// without durability ops (fileserver) owes no phase at all on Ext4:
+/// dirty pages stay cached until sync/unmount and a warm fileset serves
+/// reads without touching the device, so zero attributed time is the
+/// honest answer, not a coverage hole.
+fn obs_required_phases(stack: FsStack, mix_has_fsync: bool) -> &'static [simkernel::trace::Phase] {
+    use simkernel::trace::Phase;
+    match stack {
+        FsStack::BentoXv6 | FsStack::VfsXv6 | FsStack::FuseXv6 => &Phase::ALL,
+        FsStack::Ext4 if mix_has_fsync => &[Phase::LogStage, Phase::CommitWait, Phase::DevIo],
+        FsStack::Ext4 => &[],
+    }
+}
+
+/// The `obs` experiment: end-to-end observability across the three load
+/// stacks.
+///
+/// Three parts, all CI-gated via `obs-smoke`:
+///
+/// 1. **Disabled-path overhead**: measures the cost of one trace hook with
+///    tracing off (`disabled-hook-ns` row) and fails above 250 ns — the
+///    hook is a single relaxed atomic load and must stay that way.
+/// 2. **Phase coverage + attribution**: varmail and fileserver run traced
+///    and closed-loop on Bento, C-Kernel and Ext4.  Every op class that
+///    completed work must have produced spans, the union of observed
+///    phases must cover `obs_required_phases` for the stack, and the
+///    summed per-phase attribution must reconcile with end-to-end latency
+///    (`attributed <= 1.1 x total`; exclusive-time attribution guarantees
+///    the 1.0 bound, the slack is clock granularity).  Rows report the
+///    per-phase p50/p99 breakdown, the attributed/other shares, the
+///    slowest traced op, and the unified metrics registry counters the
+///    mount published ([`MountedStack::publish_metrics`]).
+/// 3. **Enabled-path overhead**: varmail on Bento runs back-to-back with
+///    tracing off and on (`trace-off-ops` / `trace-on-ops` /
+///    `trace-overhead-pct` rows).  Informational, not gated: on the 1-CPU
+///    CI container the run-to-run noise exceeds the ~2% target documented
+///    in EXPERIMENTS.md, so the number is recorded where a quieter machine
+///    can hold it to the bar.
+///
+/// # Errors
+///
+/// Fails on a hook-cost regression, a clean-run failure, a class that
+/// completed ops without spans, an uncovered required phase, or an
+/// attribution sum that exceeds the end-to-end total by more than 10%.
+pub fn obs_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
+    use simkernel::error::{Errno, KernelError};
+    use simkernel::registry::MetricsRegistry;
+    use simkernel::trace;
+
+    let mut rows = Vec::new();
+
+    // Part 1: the disabled path must stay one atomic load.
+    let hook_ns = trace::disabled_hook_cost_ns(100_000);
+    rows.push(Row::new("obs", "disabled-hook-ns", "-", hook_ns, "ns", None));
+    if hook_ns > 250.0 {
+        eprintln!("obs: disabled trace hook costs {hook_ns:.1} ns/call (bound 250)");
+        return Err(KernelError::with_context(
+            Errno::Io,
+            "disabled-path trace hook exceeded its overhead bound",
+        ));
+    }
+
+    // Part 2: traced runs, coverage and reconciliation gates, breakdown rows.
+    let duration = cfg.duration.max(Duration::from_millis(150));
+    let files = (cfg.macro_files_per_thread * cfg.macro_threads).max(40);
+    for stack in LOAD_STACKS {
+        let label = stack.label();
+        for make_spec in OBS_PERSONALITIES {
+            let spec = make_spec().with_files(files);
+            let mounted = mount_stack(stack, cfg.model.clone(), cfg.disk_blocks)?;
+            let load_cfg = loadgen::LoadConfig::closed(cfg.macro_threads, duration);
+            loadgen::prepare(&mounted.vfs, &spec, &load_cfg)?;
+            let tracing = trace::enable();
+            let result = loadgen::run_load(&mounted.vfs, &spec, &load_cfg)?;
+            drop(tracing);
+            if !result.is_clean() {
+                return Err(KernelError::with_context(
+                    Errno::Io,
+                    "obs: traced load run failed ops or recorded no latency",
+                ));
+            }
+            // Gate: every class that completed work produced spans.
+            for class in &result.per_op {
+                let traced = result.trace_class(class.kind);
+                if traced.map_or(0, |t| t.spans) != class.completed {
+                    eprintln!(
+                        "obs: {label}/{}: class {} completed {} ops but traced {} spans",
+                        spec.name,
+                        class.kind.label(),
+                        class.completed,
+                        traced.map_or(0, |t| t.spans),
+                    );
+                    return Err(KernelError::with_context(
+                        Errno::Io,
+                        "obs: an op class completed work without trace spans",
+                    ));
+                }
+            }
+            // Gate: the stack's required phases were all observed.
+            let mut attributed_ns = 0u64;
+            let mut total_ns = 0u64;
+            let mut covered = [false; simkernel::trace::Phase::COUNT];
+            for class in &result.traces {
+                attributed_ns += class.attributed_ns();
+                total_ns += class.total_sum_ns;
+                for phase in simkernel::trace::Phase::ALL {
+                    covered[phase.index()] |= class.per_phase[phase.index()].count() > 0;
+                }
+            }
+            let mix_has_fsync = spec
+                .mix
+                .entries()
+                .iter()
+                .any(|(kind, weight)| *kind == loadgen::OpKind::Fsync && *weight > 0);
+            for &phase in obs_required_phases(stack, mix_has_fsync) {
+                if !covered[phase.index()] {
+                    eprintln!(
+                        "obs: {label}/{}: no span passed through required phase {}",
+                        spec.name,
+                        phase.label()
+                    );
+                    return Err(KernelError::with_context(
+                        Errno::Io,
+                        "obs: a required phase was never observed (uninstrumented path?)",
+                    ));
+                }
+            }
+            // Gate: attribution reconciles with end-to-end latency.
+            if attributed_ns as f64 > total_ns as f64 * 1.10 {
+                eprintln!(
+                    "obs: {label}/{}: attributed {attributed_ns} ns vs total {total_ns} ns",
+                    spec.name
+                );
+                return Err(KernelError::with_context(
+                    Errno::Io,
+                    "obs: per-phase attribution exceeds end-to-end latency by >10%",
+                ));
+            }
+            rows.extend(phase_breakdown_rows("obs", &spec.name, label, &result));
+            // The slowest traced op: the tail the breakdown explains.
+            if let Some(worst) =
+                result.traces.iter().filter_map(|t| t.slowest.first()).max_by_key(|r| r.total_ns)
+            {
+                rows.push(Row::new(
+                    "obs",
+                    &format!("{}-slowest-us", spec.name),
+                    label,
+                    worst.total_ns as f64 / 1_000.0,
+                    "us",
+                    None,
+                ));
+            }
+            // The unified registry: absorb this mount's counters and report
+            // them (stack prefix stripped — the row's stack column holds it).
+            // Sync first so writeback-mode stacks flush their dirty pages
+            // and the device/journal counters reflect the run's traffic.
+            mounted.vfs.sync()?;
+            let registry = MetricsRegistry::new();
+            mounted.publish_metrics(&registry);
+            let snapshot = registry.snapshot();
+            for (key, value) in &snapshot.counters {
+                let name = key.strip_prefix(&format!("{label}.")).unwrap_or(key);
+                rows.push(Row::new(
+                    "obs",
+                    &format!("{}-ctr-{}", spec.name, name),
+                    label,
+                    *value as f64,
+                    "count",
+                    None,
+                ));
+            }
+            mounted.unmount()?;
+        }
+    }
+
+    // Part 3: enabled-path overhead, measured not gated (see doc comment).
+    let spec = loadgen::WorkloadSpec::varmail().with_files(files);
+    let mut ops = [0.0f64; 2];
+    for (i, traced) in [(0, false), (1, true)] {
+        let mounted = mount_stack(FsStack::BentoXv6, cfg.model.clone(), cfg.disk_blocks)?;
+        let load_cfg = loadgen::LoadConfig::closed(cfg.macro_threads, duration);
+        loadgen::prepare(&mounted.vfs, &spec, &load_cfg)?;
+        let tracing = traced.then(trace::enable);
+        let result = loadgen::run_load(&mounted.vfs, &spec, &load_cfg)?;
+        drop(tracing);
+        ops[i] = result.ops_per_sec();
+        mounted.unmount()?;
+    }
+    let label = FsStack::BentoXv6.label();
+    rows.push(Row::new("obs", "trace-off-ops", label, ops[0], "ops/sec", None));
+    rows.push(Row::new("obs", "trace-on-ops", label, ops[1], "ops/sec", None));
+    rows.push(Row::new(
+        "obs",
+        "trace-overhead-pct",
+        label,
+        (ops[0] - ops[1]) / ops[0].max(1e-9) * 100.0,
+        "%",
+        None,
+    ));
     Ok(rows)
 }
 
@@ -1163,6 +1492,73 @@ mod tests {
         assert_eq!(get("upgrade-failed-ops"), 0.0);
         assert!(get("eio-completed-ops") > 0.0);
         assert!(get("varmail-open-p99-us") > 0.0);
+    }
+
+    #[test]
+    fn obs_rows_cover_phases_registry_and_overhead_on_every_stack() {
+        // The gates (span coverage per class, required-phase coverage,
+        // attribution <= 1.1x total, hook cost < 250 ns) are inside
+        // obs_experiment, so `expect` carries them; the assertions below
+        // pin the row contract the obs-smoke CI step and EXPERIMENTS.md
+        // document.
+        let cfg = ExperimentConfig {
+            duration: Duration::from_millis(100),
+            macro_threads: 2,
+            macro_files_per_thread: 20,
+            ..ExperimentConfig::quick()
+        };
+        let rows = obs_experiment(&cfg).expect("obs experiment must hold its gates");
+        assert!(
+            rows.iter().any(|r| r.config == "disabled-hook-ns" && r.value < 250.0),
+            "disabled hook row missing or over bound"
+        );
+        for stack in ["Bento", "C-Kernel", "Ext4"] {
+            for personality in ["varmail", "fileserver"] {
+                let p = |config: String| {
+                    rows.iter()
+                        .find(|r| r.stack == stack && r.config == config)
+                        .unwrap_or_else(|| panic!("missing obs row {stack}/{config}"))
+                        .value
+                };
+                // Commit wait and device I/O are owed everywhere except
+                // Ext4 under a durability-free mix (fileserver has no
+                // fsync and ext4sim journals in writeback style, so zero
+                // in-op phase time is the honest answer — see
+                // obs_required_phases).  Percentiles must be ordered.
+                if stack != "Ext4" || personality == "varmail" {
+                    for phase in ["commit-wait", "dev-io"] {
+                        let p50 = p(format!("{personality}-phase-{phase}-p50-us"));
+                        let p99 = p(format!("{personality}-phase-{phase}-p99-us"));
+                        assert!(p50 > 0.0 && p50 <= p99, "{stack}/{personality}/{phase} unordered");
+                    }
+                }
+                let share = p(format!("{personality}-attributed-share"));
+                assert!((0.0..=1.1).contains(&share), "{stack} share {share} out of range");
+                assert!(p(format!("{personality}-slowest-us")) > 0.0);
+                // Registry counters reached the rows: the device wrote
+                // (the experiment syncs before publishing, so this holds
+                // for writeback-mode Ext4 too).
+                assert!(p(format!("{personality}-ctr-dev_writes")) > 0.0);
+            }
+        }
+        // The xv6 stacks also owe the namespace-lock and log-reserve
+        // phases varmail's create/delete traffic passes through.
+        for stack in ["Bento", "C-Kernel"] {
+            for phase in ["nslock", "log-reserve", "log-stage"] {
+                assert!(
+                    rows.iter()
+                        .any(|r| r.stack == stack
+                            && r.config == format!("varmail-phase-{phase}-p99-us")),
+                    "missing {stack} varmail {phase} row"
+                );
+            }
+        }
+        // Overhead probe rows exist and measured real throughput.
+        for config in ["trace-off-ops", "trace-on-ops"] {
+            let row = rows.iter().find(|r| r.config == config).expect("overhead rows");
+            assert!(row.value > 0.0);
+        }
+        assert!(rows.iter().any(|r| r.config == "trace-overhead-pct"));
     }
 
     #[test]

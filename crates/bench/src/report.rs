@@ -80,6 +80,10 @@ pub struct RunMeta {
     pub threads_high: usize,
     /// `"quick"` or `"full"` experiment configuration.
     pub config: String,
+    /// Wall-clock start of the run, seconds since the Unix epoch — lets
+    /// two BENCH files be ordered (and correlated with CI logs) without
+    /// trusting file mtimes.
+    pub started_unix: u64,
 }
 
 impl RunMeta {
@@ -98,6 +102,10 @@ impl RunMeta {
             cpus: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             threads_high,
             config: if quick { "quick" } else { "full" }.to_string(),
+            started_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
         }
     }
 }
@@ -135,8 +143,16 @@ mod tests {
         assert!(meta.cpus >= 1);
         assert!(!meta.git_rev.is_empty());
         let rows = vec![Row::new("load", "varmail-p99-us", "Bento", 420.0, "us", None)];
+        assert!(meta.started_unix > 1_700_000_000, "start timestamp must be a recent Unix time");
         let json = report_to_json(&meta, &rows);
-        for key in ["\"meta\"", "\"git_rev\"", "\"cpus\"", "\"threads_high\"", "\"rows\""] {
+        for key in [
+            "\"meta\"",
+            "\"git_rev\"",
+            "\"cpus\"",
+            "\"threads_high\"",
+            "\"started_unix\"",
+            "\"rows\"",
+        ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(json.contains("varmail-p99-us"));

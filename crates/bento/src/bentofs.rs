@@ -365,6 +365,10 @@ impl VfsFs for BentoFs {
         Some(stats)
     }
 
+    fn op_stats(&self) -> Option<simkernel::vfs::FsOpStats> {
+        self.fs.read().op_stats()
+    }
+
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         // Lets holders of the VFS mount table entry recover the concrete
         // BentoFs handle — the load generator uses this to drive

@@ -1,0 +1,58 @@
+//! Tracing sanity under fault injection: op spans must finish, attribute
+//! device time only for I/O that actually reached the medium, and survive
+//! injected error paths without corrupting per-thread trace state.
+//!
+//! Aggregation uses the spans' own `finish()` records, never the global
+//! `drain()` — other test binaries may be tracing concurrently.
+
+use std::sync::Arc;
+
+use crashsim::{FaultConfig, FaultDevice};
+use simkernel::cost::CostModel;
+use simkernel::dev::{BlockDevice, SsdDevice};
+use simkernel::trace::{self, Phase};
+
+#[test]
+fn spans_survive_injected_device_errors() {
+    let ssd: Arc<dyn BlockDevice> = Arc::new(SsdDevice::ram_backed(256, CostModel::zero()));
+    let fault = FaultDevice::new(ssd, FaultConfig::recorder(7));
+    let _tracing = trace::enable();
+    let buf = vec![0xabu8; 4096];
+    let mut read_buf = vec![0u8; 4096];
+
+    // Clean pass: writes and a flush under a span all count as device time.
+    let span = trace::op_span("fault-probe");
+    for block in 0..4 {
+        fault.write_block(block, &buf).expect("clean write");
+    }
+    fault.flush().expect("clean flush");
+    let rec = span.finish().expect("armed span must yield a record");
+    assert_eq!(rec.class, "fault-probe");
+    assert_eq!(rec.phase_counts[Phase::DevIo.index()], 5, "4 writes + 1 flush");
+    assert!(rec.attributed_ns() <= rec.total_ns, "exclusive attribution bound");
+
+    // Fault window: injected write EIOs fire *before* the inner device, so
+    // they must not be attributed as device time — and the error return
+    // must leave the span finishable, not poisoned mid-phase.
+    fault.set_transient_eio(0.0, 1.0);
+    let span = trace::op_span("fault-probe");
+    for block in 0..4 {
+        assert!(fault.write_block(block, &buf).is_err(), "EIO window must inject");
+    }
+    fault.read_block(0, &mut read_buf).expect("reads stay clean in a write-EIO window");
+    let rec = span.finish().expect("span survives injected errors");
+    assert_eq!(
+        rec.phase_counts[Phase::DevIo.index()],
+        1,
+        "only the read reached the device; failed writes attribute nothing"
+    );
+
+    // After the fault clears, attribution resumes unharmed on the same
+    // thread (the per-thread phase stack unwound cleanly).
+    fault.set_transient_eio(0.0, 0.0);
+    let span = trace::op_span("fault-probe");
+    fault.write_block(0, &buf).expect("recovered write");
+    let rec = span.finish().expect("post-fault span records");
+    assert_eq!(rec.phase_counts[Phase::DevIo.index()], 1);
+    assert_eq!(fault.fault_stats().write_errors, 4);
+}

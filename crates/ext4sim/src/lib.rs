@@ -341,6 +341,7 @@ impl Ext4Sim {
     /// when the transaction is large enough.
     fn journal_block(&self, home: u64, data: Vec<u8>) -> KernelResult<()> {
         let should_commit = {
+            let _stage = simkernel::trace::phase(simkernel::trace::Phase::LogStage);
             let mut txn = self.txn.lock();
             txn.blocks.push((home, data));
             txn.blocks.len() >= COMMIT_THRESHOLD_BLOCKS
@@ -364,6 +365,10 @@ impl Ext4Sim {
     ///
     /// Propagates device errors.
     pub fn commit(&self) -> KernelResult<()> {
+        // The committer's clock carries the whole transaction: waiting for
+        // the commit lock and writing the journal/install/checkpoint
+        // barriers are all commit wait (device time nests under dev-io).
+        let _commit = simkernel::trace::phase(simkernel::trace::Phase::CommitWait);
         // One commit at a time: interleaved checkpoints would race on the
         // alternating slots.
         let _serial = self.commit_lock.lock();
@@ -534,6 +539,12 @@ impl VfsFs for Ext4Sim {
 
     fn root_ino(&self) -> u64 {
         1
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        // Lets the metrics-publishing harness recover the concrete handle
+        // and absorb [`Ext4Sim::journal_stats`] into the unified registry.
+        Some(self)
     }
 
     fn lookup(&self, dir: u64, name: &str) -> KernelResult<InodeAttr> {

@@ -379,6 +379,7 @@ impl Journal {
     /// that is the pipelining) or while a [`Journal::flush`] is draining
     /// (so fsync cannot be starved by a steady stream of new operations).
     pub fn begin_op(&self) {
+        let _reserve = simkernel::trace::phase(simkernel::trace::Phase::LogReserve);
         let nested = TX.with(|cell| {
             let mut map = cell.borrow_mut();
             let tx = map.entry(self.id).or_default();
@@ -414,6 +415,7 @@ impl Journal {
     /// operation exceeds [`MAX_OP_BLOCKS`] distinct blocks (a chunking bug
     /// in the caller).
     pub fn log_write(&self, home: u64, data: &[u8]) -> KernelResult<()> {
+        let _stage = simkernel::trace::phase(simkernel::trace::Phase::LogStage);
         let version = SNAPSHOT_VERSION.fetch_add(1, Ordering::SeqCst);
         TX.with(|cell| {
             let mut map = cell.borrow_mut();
@@ -513,6 +515,9 @@ impl Journal {
             self.take_group_if_ready(&mut inner)
         };
         if let Some((seq, blocks, ops)) = to_commit {
+            // This thread became the committer: the whole group's barriers
+            // run on its clock, so attribute them as commit wait.
+            let _commit = simkernel::trace::phase(simkernel::trace::Phase::CommitWait);
             self.commit_group(io, seq, blocks, ops)?;
         }
         Ok(())
@@ -528,6 +533,10 @@ impl Journal {
     ///
     /// Propagates I/O errors from the commit.
     pub fn flush(&self, io: &dyn JournalIo) -> KernelResult<()> {
+        // Everything here — draining operations, committing the sealed
+        // group, waiting out an in-flight commit — is time an fsync spends
+        // waiting on group commit.
+        let _commit = simkernel::trace::phase(simkernel::trace::Phase::CommitWait);
         // Seal admissions so the drain is bounded: begin_op blocks while a
         // flush is in progress (jbd2 seals its transaction the same way).
         self.flushing.fetch_add(1, Ordering::SeqCst);
@@ -876,6 +885,10 @@ impl Journal {
     ///
     /// Propagates I/O errors.
     pub fn recover(&self, io: &dyn JournalIo) -> KernelResult<usize> {
+        // Recovery is its own traced operation (mount path, not a syscall);
+        // replay I/O inside it still shows up under dev-io via the device.
+        let _span = simkernel::trace::op_span("journal-recovery");
+        let _commit = simkernel::trace::phase(simkernel::trace::Phase::CommitWait);
         let mut committed: Vec<(u64, u64, Vec<u64>)> = Vec::new();
         let mut head = vec![0u8; BSIZE];
         for region in 0..2u64 {

@@ -25,6 +25,7 @@ use rand::{Rng, SeedableRng};
 
 use simkernel::error::{Errno, KernelError, KernelResult};
 use simkernel::metrics::LatencyHistogram;
+use simkernel::trace::{self, Phase, SpanRecord};
 use simkernel::vfs::{OpenFlags, Vfs};
 use workloads::UntarEntry;
 
@@ -127,6 +128,99 @@ pub struct OpClassStats {
     pub latency: LatencyHistogram,
 }
 
+/// How many of the slowest spans each op class keeps for tail forensics.
+pub const SLOWEST_K: usize = 5;
+
+/// Phase-attributed latency for one op class, aggregated from the trace
+/// spans the driver opened around each operation (service time: issue to
+/// completion, excluding open-loop queueing).  Populated only while
+/// [`simkernel::trace`] is enabled; with tracing off every run leaves
+/// [`LoadResult::traces`] empty at the cost of one atomic load per op.
+#[derive(Debug, Clone)]
+pub struct ClassPhaseTrace {
+    /// Which op class.
+    pub kind: OpKind,
+    /// Spans aggregated (successful ops observed under tracing).
+    pub spans: u64,
+    /// End-to-end service latency, ns.
+    pub total: LatencyHistogram,
+    /// Per-phase exclusive latency, ns, indexed by [`Phase::index`]; a
+    /// span contributes to a phase's histogram only when it entered that
+    /// phase, so "how long is a commit wait *when one happens*" is not
+    /// diluted by ops that never waited.
+    pub per_phase: Vec<LatencyHistogram>,
+    /// Total exclusive ns attributed to each phase across all spans.
+    pub phase_sum_ns: [u64; Phase::COUNT],
+    /// Sum of span totals, ns (the reconciliation denominator).
+    pub total_sum_ns: u64,
+    /// The [`SLOWEST_K`] slowest spans by total latency, slowest first —
+    /// full per-phase breakdowns of exactly the ops a p99 debugger wants.
+    pub slowest: Vec<SpanRecord>,
+}
+
+impl ClassPhaseTrace {
+    fn new(kind: OpKind) -> Self {
+        ClassPhaseTrace {
+            kind,
+            spans: 0,
+            total: LatencyHistogram::new(),
+            per_phase: (0..Phase::COUNT).map(|_| LatencyHistogram::new()).collect(),
+            phase_sum_ns: [0; Phase::COUNT],
+            total_sum_ns: 0,
+            slowest: Vec::new(),
+        }
+    }
+
+    fn observe(&mut self, rec: SpanRecord) {
+        self.spans += 1;
+        self.total.record(rec.total_ns);
+        self.total_sum_ns += rec.total_ns;
+        for p in Phase::ALL {
+            let ns = rec.phase_ns[p.index()];
+            self.phase_sum_ns[p.index()] += ns;
+            if rec.phase_counts[p.index()] > 0 {
+                self.per_phase[p.index()].record(ns);
+            }
+        }
+        self.keep_if_slow(rec);
+    }
+
+    fn keep_if_slow(&mut self, rec: SpanRecord) {
+        if self.slowest.len() < SLOWEST_K {
+            self.slowest.push(rec);
+        } else if self.slowest.last().is_some_and(|tail| rec.total_ns > tail.total_ns) {
+            self.slowest.pop();
+            self.slowest.push(rec);
+        } else {
+            return;
+        }
+        self.slowest.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
+    }
+
+    fn merge(&mut self, other: &ClassPhaseTrace) {
+        self.spans += other.spans;
+        self.total.merge(&other.total);
+        self.total_sum_ns += other.total_sum_ns;
+        for i in 0..Phase::COUNT {
+            self.phase_sum_ns[i] += other.phase_sum_ns[i];
+            self.per_phase[i].merge(&other.per_phase[i]);
+        }
+        for &rec in &other.slowest {
+            self.keep_if_slow(rec);
+        }
+    }
+
+    /// Total exclusive ns attributed to instrumented phases.
+    pub fn attributed_ns(&self) -> u64 {
+        self.phase_sum_ns.iter().sum()
+    }
+
+    /// Fraction of total service time spent in `phase` (0 when no spans).
+    pub fn phase_share(&self, phase: Phase) -> f64 {
+        self.phase_sum_ns[phase.index()] as f64 / (self.total_sum_ns as f64).max(1.0)
+    }
+}
+
 /// The outcome of one load run.
 #[derive(Debug, Clone)]
 pub struct LoadResult {
@@ -157,6 +251,10 @@ pub struct LoadResult {
     /// Open loop only: the worst observed lag between an op's scheduled
     /// arrival and the moment a worker picked it up (zero when keeping up).
     pub max_backlog: Duration,
+    /// Phase-attributed traces per op class (classes with no spans
+    /// omitted).  Empty unless [`simkernel::trace`] was enabled for the
+    /// run.
+    pub traces: Vec<ClassPhaseTrace>,
 }
 
 impl LoadResult {
@@ -173,6 +271,11 @@ impl LoadResult {
     /// Stats for one op class, if it saw traffic.
     pub fn class(&self, kind: OpKind) -> Option<&OpClassStats> {
         self.per_op.iter().find(|c| c.kind == kind)
+    }
+
+    /// Phase-attributed trace for one op class, if tracing captured any.
+    pub fn trace_class(&self, kind: OpKind) -> Option<&ClassPhaseTrace> {
+        self.traces.iter().find(|t| t.kind == kind)
     }
 
     /// A run is clean when it completed work and failed nothing.
@@ -246,6 +349,9 @@ pub fn run_load(vfs: &Arc<Vfs>, spec: &WorkloadSpec, cfg: &LoadConfig) -> Kernel
             })
             .collect(),
     ));
+    let merged_traces: Arc<Mutex<Vec<ClassPhaseTrace>>> = Arc::new(Mutex::new(
+        OpKind::all().iter().map(|&kind| ClassPhaseTrace::new(kind)).collect(),
+    ));
     let total_bytes = Arc::new(AtomicU64::new(0));
     let total_skipped = Arc::new(AtomicU64::new(0));
     let spec = Arc::new(spec.clone());
@@ -267,6 +373,7 @@ pub fn run_load(vfs: &Arc<Vfs>, spec: &WorkloadSpec, cfg: &LoadConfig) -> Kernel
         let replay_cursor = Arc::clone(&replay_cursor);
         let max_backlog_ns = Arc::clone(&max_backlog_ns);
         let merged = Arc::clone(&merged);
+        let merged_traces = Arc::clone(&merged_traces);
         let total_bytes = Arc::clone(&total_bytes);
         let total_skipped = Arc::clone(&total_skipped);
         handles.push(std::thread::spawn(move || -> KernelResult<()> {
@@ -293,6 +400,7 @@ pub fn run_load(vfs: &Arc<Vfs>, spec: &WorkloadSpec, cfg: &LoadConfig) -> Kernel
                         latency: LatencyHistogram::new(),
                     })
                     .collect(),
+                traces: OpKind::all().iter().map(|&kind| ClassPhaseTrace::new(kind)).collect(),
                 bytes: 0,
                 skipped: 0,
             };
@@ -302,6 +410,11 @@ pub fn run_load(vfs: &Arc<Vfs>, spec: &WorkloadSpec, cfg: &LoadConfig) -> Kernel
                 into.completed += from.completed;
                 into.errors += from.errors;
                 into.latency.merge(&from.latency);
+            }
+            drop(all);
+            let mut all_traces = merged_traces.lock();
+            for (into, from) in all_traces.iter_mut().zip(worker.traces.iter()) {
+                into.merge(from);
             }
             total_bytes.fetch_add(worker.bytes, Ordering::Relaxed);
             total_skipped.fetch_add(worker.skipped, Ordering::Relaxed);
@@ -325,6 +438,12 @@ pub fn run_load(vfs: &Arc<Vfs>, spec: &WorkloadSpec, cfg: &LoadConfig) -> Kernel
     for class in &per_op {
         overall.merge(&class.latency);
     }
+    let traces: Vec<ClassPhaseTrace> = Arc::try_unwrap(merged_traces)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|arc| arc.lock().clone())
+        .into_iter()
+        .filter(|t| t.spans > 0)
+        .collect();
     Ok(LoadResult {
         spec: spec.name.clone(),
         driver: cfg.driver.label(),
@@ -338,6 +457,7 @@ pub fn run_load(vfs: &Arc<Vfs>, spec: &WorkloadSpec, cfg: &LoadConfig) -> Kernel
         timeline: timeline.iter().map(|w| w.load(Ordering::Relaxed)).collect(),
         window: cfg.window,
         max_backlog: Duration::from_nanos(max_backlog_ns.load(Ordering::Relaxed)),
+        traces,
     })
 }
 
@@ -367,6 +487,8 @@ struct Worker {
     /// timed window measures the file system, not per-op allocations.
     scratch: Vec<u8>,
     stats: Vec<OpClassStats>,
+    /// Phase-attributed spans per class, populated only under tracing.
+    traces: Vec<ClassPhaseTrace>,
     bytes: u64,
     skipped: u64,
 }
@@ -407,10 +529,18 @@ impl Worker {
                     scheduled
                 }
             };
+            // The span measures service time (issue to completion) with the
+            // per-phase breakdown; the class is only known afterwards, so it
+            // opens generic and is relabelled at finish.  Inert (one atomic
+            // load) when tracing is off.
+            let span = trace::op_span("op");
             let outcome = self.one_op(replay_cursor);
             let completed_at = Instant::now();
             match outcome {
                 Ok(Some((kind, bytes))) => {
+                    if let Some(rec) = span.finish_as(kind.label()) {
+                        self.traces[class_index(kind)].observe(rec);
+                    }
                     let stats = &mut self.stats[class_index(kind)];
                     stats.completed += 1;
                     stats.latency.record_duration(completed_at.duration_since(measured_from));
@@ -421,20 +551,26 @@ impl Worker {
                     timeline[idx].fetch_add(1, Ordering::Relaxed);
                 }
                 Ok(None) => {
+                    span.cancel();
                     // Replay exhausted or a target vanished mid-op.
                     if self.spec.replay.is_some() {
                         return Ok(());
                     }
                     self.skipped += 1;
                 }
-                Err(e) => match self.cfg.error_policy {
-                    ErrorPolicy::FailFast => return Err(e),
-                    ErrorPolicy::Count => {
-                        // Attribute the failure to the class we attempted.
-                        let kind = self.last_attempt;
-                        self.stats[class_index(kind)].errors += 1;
+                Err(e) => {
+                    // Failed ops never record a latency sample, so they do
+                    // not record a span either.
+                    span.cancel();
+                    match self.cfg.error_policy {
+                        ErrorPolicy::FailFast => return Err(e),
+                        ErrorPolicy::Count => {
+                            // Attribute the failure to the class attempted.
+                            let kind = self.last_attempt;
+                            self.stats[class_index(kind)].errors += 1;
+                        }
                     }
-                },
+                }
             }
             if let Driver::Closed { think, .. } = self.cfg.driver {
                 if !think.is_zero() {

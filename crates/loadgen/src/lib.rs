@@ -62,7 +62,10 @@ pub mod scenario;
 pub mod spec;
 pub mod zipf;
 
-pub use driver::{prepare, run_load, Driver, ErrorPolicy, LoadConfig, LoadResult, OpClassStats};
+pub use driver::{
+    prepare, run_load, ClassPhaseTrace, Driver, ErrorPolicy, LoadConfig, LoadResult, OpClassStats,
+    SLOWEST_K,
+};
 pub use scenario::{run_eio_under_load, run_upgrade_under_load, EioOutcome, UpgradeOutcome};
 pub use spec::{FileSetSpec, OpKind, OpMix, SizeDist, WorkloadSpec};
 pub use zipf::Zipfian;

@@ -87,10 +87,31 @@ impl OpMix {
     ///
     /// Panics if every weight is zero.
     pub fn new(weights: &[(OpKind, u32)]) -> Self {
+        match Self::try_new(weights) {
+            Ok(mix) => mix,
+            Err(_) => panic!("op mix needs at least one nonzero weight"),
+        }
+    }
+
+    /// Fallible [`OpMix::new`], for mixes built from external input (a
+    /// config file, an experiment sweep): an empty or all-zero-weight list
+    /// is reported as [`simkernel::error::Errno::Inval`] instead of a
+    /// panic deep inside a load run.
+    ///
+    /// # Errors
+    ///
+    /// [`simkernel::error::Errno::Inval`] when no entry has a nonzero
+    /// weight.
+    pub fn try_new(weights: &[(OpKind, u32)]) -> simkernel::error::KernelResult<Self> {
         let entries: Vec<(OpKind, u32)> = weights.iter().copied().filter(|(_, w)| *w > 0).collect();
         let total = entries.iter().map(|(_, w)| w).sum();
-        assert!(total > 0, "op mix needs at least one nonzero weight");
-        OpMix { entries, total }
+        if total == 0 {
+            return Err(simkernel::error::KernelError::with_context(
+                simkernel::error::Errno::Inval,
+                "loadgen: op mix is empty or all weights are zero",
+            ));
+        }
+        Ok(OpMix { entries, total })
     }
 
     /// Draws one op class.
@@ -380,6 +401,21 @@ mod tests {
         assert!((2700..=3300).contains(&reads), "reads {reads} out of proportion");
         assert_eq!(mix.weight(OpKind::Read), 3);
         assert_eq!(mix.weight(OpKind::Delete), 0);
+    }
+
+    #[test]
+    fn empty_or_zero_weight_mixes_are_rejected_early() {
+        let err = OpMix::try_new(&[]).unwrap_err();
+        assert_eq!(err.errno(), simkernel::error::Errno::Inval);
+        let err = OpMix::try_new(&[(OpKind::Read, 0), (OpKind::Write, 0)]).unwrap_err();
+        assert_eq!(err.errno(), simkernel::error::Errno::Inval);
+        assert!(OpMix::try_new(&[(OpKind::Read, 0), (OpKind::Write, 1)]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "op mix needs at least one nonzero weight")]
+    fn new_still_panics_on_an_all_zero_mix() {
+        let _ = OpMix::new(&[(OpKind::Read, 0)]);
     }
 
     #[test]

@@ -61,6 +61,51 @@ fn per_class_stats_cover_the_mix() {
 }
 
 #[test]
+fn traced_run_attributes_phases_per_class() {
+    use simkernel::trace::{self, Phase};
+
+    let mounted = mount_stack(FsStack::BentoXv6, CostModel::zero(), DISK_BLOCKS).unwrap();
+    let spec = quick(WorkloadSpec::varmail());
+    let cfg = LoadConfig::closed(2, Duration::from_millis(150));
+    prepare(&mounted.vfs, &spec, &cfg).unwrap();
+    let _tracing = trace::enable();
+    let result = run_load(&mounted.vfs, &spec, &cfg).unwrap();
+    assert!(result.is_clean());
+    assert!(!result.traces.is_empty(), "tracing was on: traces must be captured");
+    for class in &result.traces {
+        let stats = result.class(class.kind).expect("traced class saw traffic");
+        assert_eq!(
+            class.spans,
+            stats.completed,
+            "{}: every completed op spans",
+            class.kind.label()
+        );
+        assert_eq!(class.total.count(), class.spans);
+        // Exclusive attribution never exceeds the measured total.
+        assert!(class.attributed_ns() <= class.total_sum_ns, "{}", class.kind.label());
+        assert!(!class.slowest.is_empty() && class.slowest.len() <= loadgen::SLOWEST_K);
+        assert!(
+            class.slowest.windows(2).all(|w| w[0].total_ns >= w[1].total_ns),
+            "slowest spans are kept sorted, slowest first"
+        );
+    }
+    // The durability class on a journalling stack must have passed through
+    // the journal commit and touched the device.
+    let fsync = result.trace_class(OpKind::Fsync).expect("varmail fsyncs");
+    assert!(fsync.per_phase[Phase::CommitWait.index()].count() > 0, "fsync saw no commit-wait");
+    assert!(fsync.per_phase[Phase::DevIo.index()].count() > 0, "fsync saw no device I/O");
+    mounted.unmount().unwrap();
+
+    // Without tracing the same run keeps traces empty (the disabled path).
+    drop(_tracing);
+    let mounted = mount_stack(FsStack::BentoXv6, CostModel::zero(), DISK_BLOCKS).unwrap();
+    prepare(&mounted.vfs, &spec, &cfg).unwrap();
+    let result = run_load(&mounted.vfs, &spec, &cfg).unwrap();
+    assert!(result.traces.is_empty(), "tracing off: no spans may be captured");
+    mounted.unmount().unwrap();
+}
+
+#[test]
 fn untar_replay_extracts_the_manifest_with_latency() {
     let mounted = mount_stack(FsStack::BentoXv6, CostModel::zero(), DISK_BLOCKS).unwrap();
     let spec = WorkloadSpec::untar_replay(60, 7);

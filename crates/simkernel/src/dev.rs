@@ -280,6 +280,7 @@ impl BlockDevice for SsdDevice {
     }
 
     fn read_block(&self, blockno: u64, buf: &mut [u8]) -> KernelResult<()> {
+        let _io = crate::trace::phase(crate::trace::Phase::DevIo);
         self.inner.read_block(blockno, buf)?;
         self.model.charge(&self.counters, CostKind::DeviceRead, self.model.block_read_ns);
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
@@ -287,6 +288,7 @@ impl BlockDevice for SsdDevice {
     }
 
     fn write_block(&self, blockno: u64, buf: &[u8]) -> KernelResult<()> {
+        let _io = crate::trace::phase(crate::trace::Phase::DevIo);
         self.inner.write_block(blockno, buf)?;
         self.dirty_since_flush.fetch_add(1, Ordering::Relaxed);
         // Sample the in-flight depth gauge around the synchronous charge so
@@ -300,6 +302,7 @@ impl BlockDevice for SsdDevice {
     }
 
     fn flush(&self) -> KernelResult<()> {
+        let _io = crate::trace::phase(crate::trace::Phase::DevIo);
         self.inner.flush()?;
         let dirty = self.dirty_since_flush.swap(0, Ordering::Relaxed);
         let cost = self.model.flush_base_ns + dirty * self.model.flush_per_dirty_block_ns;

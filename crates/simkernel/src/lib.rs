@@ -50,6 +50,12 @@
 //!   ([`metrics::LatencyHistogram`]) every workload driver records
 //!   per-operation latency through, so p50/p99/p99.9 mean the same thing in
 //!   every BENCH row.
+//! * [`trace`] — always-compiled-in op tracing: per-op spans with
+//!   exclusive-time phase attribution (namespace-lock wait, journal
+//!   reserve/stage/commit wait, device I/O) recorded into per-thread rings;
+//!   the disabled path is a single relaxed atomic load.
+//! * [`registry`] — the unified metrics registry: named counters and
+//!   latency histograms from every stats surface behind one snapshot API.
 //!
 //! The crate is intentionally free of `unsafe` code.
 //!
@@ -80,8 +86,10 @@ pub mod metrics;
 pub mod nslock;
 pub mod pagecache;
 pub mod queue;
+pub mod registry;
 pub mod shard;
 pub mod sync;
+pub mod trace;
 pub mod vfs;
 
 pub use cost::CostModel;

@@ -308,6 +308,64 @@ mod tests {
     }
 
     #[test]
+    fn merging_an_empty_histogram_changes_nothing() {
+        let mut a = LatencyHistogram::new();
+        for v in [3u64, 700, 41_000] {
+            a.record(v);
+        }
+        let before = (a.count(), a.min(), a.max(), a.mean(), a.percentile(99.0));
+        a.merge(&LatencyHistogram::new());
+        assert_eq!((a.count(), a.min(), a.max(), a.mean(), a.percentile(99.0)), before);
+        // And the mirror case: empty absorbing non-empty equals the source.
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), a.count());
+        assert_eq!(empty.min(), a.min());
+        assert_eq!(empty.max(), a.max());
+        // Merging two empties stays empty with the zero-valued accessors.
+        let mut both = LatencyHistogram::new();
+        both.merge(&LatencyHistogram::new());
+        assert!(both.is_empty());
+        assert_eq!(both.min(), 0);
+        assert_eq!(both.max(), 0);
+    }
+
+    #[test]
+    fn percentile_on_empty_histogram_is_zero_for_any_p() {
+        let h = LatencyHistogram::new();
+        for p in [0.0, 50.0, 99.0, 99.9, 100.0, -5.0, 250.0] {
+            assert_eq!(h.percentile(p), 0, "empty percentile({p}) must be 0");
+        }
+        assert_eq!(h.quartet(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn merge_preserves_exact_min_max_across_disjoint_ranges() {
+        // Low histogram: 10..=50; high histogram: 1M..=2M — disjoint, with
+        // the true min in one side and the true max in the other.
+        let mut low = LatencyHistogram::new();
+        for v in (10u64..=50).step_by(10) {
+            low.record(v);
+        }
+        let mut high = LatencyHistogram::new();
+        for v in [1_000_003u64, 1_500_000, 2_000_017] {
+            high.record(v);
+        }
+        let mut merged = low.clone();
+        merged.merge(&high);
+        assert_eq!(merged.min(), 10, "min must come from the low range, exactly");
+        assert_eq!(merged.max(), 2_000_017, "max must come from the high range, exactly");
+        // Merge order must not matter.
+        let mut reversed = high.clone();
+        reversed.merge(&low);
+        assert_eq!(reversed.min(), 10);
+        assert_eq!(reversed.max(), 2_000_017);
+        // Percentiles stay clamped inside the observed extremes.
+        assert!(merged.percentile(0.0) >= 10);
+        assert_eq!(merged.percentile(100.0), 2_000_017);
+    }
+
+    #[test]
     fn time_records_one_sample() {
         let mut h = LatencyHistogram::new();
         let out = h.time(|| 7u32);

@@ -148,7 +148,13 @@ impl DirLockTable {
         let entry = self.entry(ino);
         #[cfg(debug_assertions)]
         order::acquire(ino);
-        DirLockGuard { guard: Some(Mutex::lock_arc(&entry)), ino }
+        // Attribute the acquisition wait (not the hold) to the active
+        // span's namespace-lock phase.
+        let guard = {
+            let _wait = crate::trace::phase(crate::trace::Phase::NsLock);
+            Mutex::lock_arc(&entry)
+        };
+        DirLockGuard { guard: Some(guard), ino }
     }
 
     /// Locks directories `a` and `b` in ascending-inum order; a same-

@@ -334,6 +334,7 @@ impl BlockDevice for MultiQueueDevice {
     fn read_block(&self, blockno: u64, buf: &mut [u8]) -> KernelResult<()> {
         // Reads are synchronous (a buffer-cache miss blocks the caller on a
         // real drive too).
+        let _io = crate::trace::phase(crate::trace::Phase::DevIo);
         self.inner.read_block(blockno, buf)?;
         self.model.charge(&self.counters, CostKind::DeviceRead, self.model.block_read_ns);
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
@@ -344,6 +345,7 @@ impl BlockDevice for MultiQueueDevice {
         // The synchronous path behaves exactly like SsdDevice (depth-1
         // service), so non-batched writers see identical costs on both
         // device models; only explicit queued submission overlaps.
+        let _io = crate::trace::phase(crate::trace::Phase::DevIo);
         self.inner.write_block(blockno, buf)?;
         self.dirty_since_flush.fetch_add(1, Ordering::Relaxed);
         self.counters.io_submitted();
@@ -357,6 +359,7 @@ impl BlockDevice for MultiQueueDevice {
         // A barrier drains every queue pair first: no submitted write may
         // cross a FLUSH, which is what keeps crashsim's barrier-epoch
         // partitioning sound on queued devices.
+        let _io = crate::trace::phase(crate::trace::Phase::DevIo);
         for queue in 0..self.queues.len() {
             self.drain_queue(queue)?;
         }
@@ -395,6 +398,9 @@ impl QueuedBlockDevice for MultiQueueDevice {
     }
 
     fn submit_write(&self, queue: usize, blockno: u64, data: &[u8]) -> KernelResult<RequestId> {
+        // Submission covers the store-through plus any full-queue
+        // backpressure wait — both are device time to the submitting op.
+        let _io = crate::trace::phase(crate::trace::Phase::DevIo);
         let pair = self.pair(queue)?;
         // Store through at submission time: the write cache accepts the
         // data now (and a recorder below sees submission order); only the
@@ -448,6 +454,7 @@ impl QueuedBlockDevice for MultiQueueDevice {
     }
 
     fn drain_queue(&self, queue: usize) -> KernelResult<()> {
+        let _io = crate::trace::phase(crate::trace::Phase::DevIo);
         let pair = self.pair(queue)?;
         loop {
             let deadline = {

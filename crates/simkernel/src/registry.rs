@@ -1,0 +1,200 @@
+//! Unified metrics registry: one snapshot for every stats surface.
+//!
+//! The workspace grew four ad-hoc stats structs — the xv6 cores' `FsStats`,
+//! the journals' `JournalStats`, the VFS-visible
+//! [`WritePathStats`](crate::vfs::WritePathStats), and the cost model's
+//! queue-depth gauges ([`crate::cost::CostCounters`]) — each with its own
+//! accessor and its own consumer.  The [`MetricsRegistry`] absorbs them
+//! all: producers publish **named counters** and **named latency
+//! histograms** ([`crate::metrics::LatencyHistogram`]) under stable
+//! dotted keys (`"Bento.journal.commits"`), and one
+//! [`MetricsRegistry::snapshot`] call
+//! returns everything, ready to be serialized into BENCH JSON rows by the
+//! `bench` crate.
+//!
+//! Publishing is pull-shaped: the stats structs keep their lock-free
+//! striped counters on the hot path, and a harness (the mounted-stack
+//! helper in `workloads`, or an experiment) copies them into the registry
+//! at snapshot points.  The registry itself is therefore never on an I/O
+//! fast path and a pair of mutexed maps is plenty.
+//!
+//! # Example
+//!
+//! ```
+//! use simkernel::registry::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! registry.set_counter("Bento.journal.commits", 17);
+//! registry.add_counter("Bento.fs.creates", 3);
+//! registry.observe_ns("Bento.fsync", 42_000);
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("Bento.journal.commits"), Some(17));
+//! assert_eq!(snap.histograms["Bento.fsync"].count, 1);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+
+use crate::metrics::LatencyHistogram;
+
+/// The unified registry: named counters + named latency histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, LatencyHistogram>>,
+}
+
+/// Summary of one named histogram inside a [`MetricsSnapshot`] (values in
+/// the unit the producer recorded, nanoseconds by convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest recorded value.
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// 50th percentile.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+/// A point-in-time copy of everything in a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// All named counters, sorted by key.
+    pub counters: BTreeMap<String, u64>,
+    /// All named histograms, summarized, sorted by key.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by exact key.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.counters.get(key).copied()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry (tests; most callers use
+    /// [`MetricsRegistry::global`]).
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The process-wide registry every stack publishes into.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// Sets counter `key` to `value` (last write wins — the shape for
+    /// publishing a snapshot of an external counter).
+    pub fn set_counter(&self, key: &str, value: u64) {
+        self.counters.lock().insert(key.to_string(), value);
+    }
+
+    /// Adds `delta` to counter `key` (creating it at zero).
+    pub fn add_counter(&self, key: &str, delta: u64) {
+        *self.counters.lock().entry(key.to_string()).or_insert(0) += delta;
+    }
+
+    /// Records one value into histogram `key` (creating it empty).
+    pub fn observe_ns(&self, key: &str, value_ns: u64) {
+        self.histograms.lock().entry(key.to_string()).or_default().record(value_ns);
+    }
+
+    /// Folds a whole histogram into histogram `key` — how per-run,
+    /// per-thread histograms are absorbed without re-recording samples.
+    pub fn merge_histogram(&self, key: &str, other: &LatencyHistogram) {
+        self.histograms.lock().entry(key.to_string()).or_default().merge(other);
+    }
+
+    /// Copies the current state out.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self.counters.lock().clone();
+        let histograms = self
+            .histograms
+            .lock()
+            .iter()
+            .map(|(key, h)| {
+                let (p50, _, p99, p999) = h.quartet();
+                (
+                    key.clone(),
+                    HistogramSummary {
+                        count: h.count(),
+                        mean: h.mean(),
+                        min: h.min(),
+                        max: h.max(),
+                        p50,
+                        p99,
+                        p999,
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot { counters, histograms }
+    }
+
+    /// Clears every counter and histogram (a new measurement window).
+    pub fn reset(&self) {
+        self.counters.lock().clear();
+        self.histograms.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_set_add_and_snapshot() {
+        let r = MetricsRegistry::new();
+        r.set_counter("a.commits", 5);
+        r.set_counter("a.commits", 7);
+        r.add_counter("a.creates", 2);
+        r.add_counter("a.creates", 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.commits"), Some(7), "set is last-write-wins");
+        assert_eq!(snap.counter("a.creates"), Some(5), "add accumulates");
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn histograms_merge_and_summarize() {
+        let r = MetricsRegistry::new();
+        for v in 1..=100u64 {
+            r.observe_ns("lat", v * 1_000);
+        }
+        let mut extra = LatencyHistogram::new();
+        extra.record(500_000);
+        r.merge_histogram("lat", &extra);
+        let snap = r.snapshot();
+        let s = &snap.histograms["lat"];
+        assert_eq!(s.count, 101);
+        assert_eq!(s.min, 1_000);
+        assert_eq!(s.max, 500_000);
+        assert!(s.p99 >= s.p50);
+        assert!(s.p999 >= s.p99);
+    }
+
+    #[test]
+    fn reset_clears_everything_and_keys_are_sorted() {
+        let r = MetricsRegistry::new();
+        r.set_counter("z.last", 1);
+        r.set_counter("a.first", 1);
+        let keys: Vec<String> = r.snapshot().counters.keys().cloned().collect();
+        assert_eq!(keys, vec!["a.first", "z.last"], "snapshot keys are sorted");
+        r.reset();
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+}

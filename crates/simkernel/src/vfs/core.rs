@@ -339,6 +339,12 @@ impl Vfs {
     }
 
     // -- file descriptor syscalls -------------------------------------------
+    //
+    // Every syscall opens a trace span named after itself.  The spans are
+    // inert unless `trace::enable` is in force, and inert when a caller
+    // (e.g. the load generator) already holds a span for the enclosing
+    // logical op — so bare VFS use traces per-syscall while driven load
+    // traces per-op, never both.
 
     /// Opens `path`, honouring `CREAT`, `EXCL`, `TRUNC` and `APPEND`.
     ///
@@ -348,6 +354,7 @@ impl Vfs {
     /// `CREAT|EXCL`), [`Errno::IsDir`] when writing a directory,
     /// [`Errno::NFile`] if the fd table is full.
     pub fn open(&self, path: &str, flags: OpenFlags) -> KernelResult<u64> {
+        let _span = crate::trace::op_span("open");
         if self.config.max_open_files > 0 && self.fds.len() >= self.config.max_open_files {
             return Err(KernelError::with_context(Errno::NFile, "fd table full"));
         }
@@ -409,6 +416,7 @@ impl Vfs {
     /// Returns [`Errno::BadF`] for an unknown descriptor; propagates
     /// `release` errors.
     pub fn close(&self, fd: u64) -> KernelResult<()> {
+        let _span = crate::trace::op_span("close");
         let file = self
             .fds
             .remove(&fd)
@@ -424,6 +432,7 @@ impl Vfs {
     /// [`Errno::BadF`] for unknown or write-only descriptors; I/O errors
     /// propagate.
     pub fn read(&self, fd: u64, buf: &mut [u8]) -> KernelResult<usize> {
+        let _span = crate::trace::op_span("read");
         let file = self.file(fd)?;
         let mut pos = file.pos.lock();
         let n = self.read_at_file(&file, *pos, buf)?;
@@ -437,6 +446,7 @@ impl Vfs {
     ///
     /// As for [`Vfs::read`].
     pub fn pread(&self, fd: u64, buf: &mut [u8], offset: u64) -> KernelResult<usize> {
+        let _span = crate::trace::op_span("pread");
         let file = self.file(fd)?;
         self.read_at_file(&file, offset, buf)
     }
@@ -460,6 +470,7 @@ impl Vfs {
     /// and other file system errors propagate (possibly from throttled
     /// writeback).
     pub fn write(&self, fd: u64, data: &[u8]) -> KernelResult<usize> {
+        let _span = crate::trace::op_span("write");
         let file = self.file(fd)?;
         let mut pos = file.pos.lock();
         if file.flags.contains(OpenFlags::APPEND) {
@@ -490,6 +501,7 @@ impl Vfs {
     ///
     /// As for [`Vfs::write`].
     pub fn pwrite(&self, fd: u64, data: &[u8], offset: u64) -> KernelResult<usize> {
+        let _span = crate::trace::op_span("pwrite");
         let file = self.file(fd)?;
         self.write_at_file(&file, offset, data)
     }
@@ -507,6 +519,7 @@ impl Vfs {
     ///
     /// [`Errno::Inval`] if the resulting offset would be negative.
     pub fn lseek(&self, fd: u64, seek: SeekFrom) -> KernelResult<u64> {
+        let _span = crate::trace::op_span("lseek");
         let file = self.file(fd)?;
         let mut pos = file.pos.lock();
         let new = match seek {
@@ -532,6 +545,7 @@ impl Vfs {
     ///
     /// I/O errors propagate.
     pub fn fsync(&self, fd: u64) -> KernelResult<()> {
+        let _span = crate::trace::op_span("fsync");
         self.fsync_inner(fd, false)
     }
 
@@ -541,6 +555,7 @@ impl Vfs {
     ///
     /// I/O errors propagate.
     pub fn fdatasync(&self, fd: u64) -> KernelResult<()> {
+        let _span = crate::trace::op_span("fdatasync");
         self.fsync_inner(fd, true)
     }
 
@@ -557,6 +572,7 @@ impl Vfs {
     ///
     /// [`Errno::BadF`] for an unknown descriptor.
     pub fn fstat(&self, fd: u64) -> KernelResult<InodeAttr> {
+        let _span = crate::trace::op_span("fstat");
         let file = self.file(fd)?;
         let mut attr = file.mount.fs.getattr(file.ino)?;
         attr.size = attr.size.max(file.mount.page_cache.file_size(&file.mount.fs, file.ino)?);
@@ -569,6 +585,7 @@ impl Vfs {
     ///
     /// [`Errno::BadF`] if not open for writing.
     pub fn ftruncate(&self, fd: u64, size: u64) -> KernelResult<()> {
+        let _span = crate::trace::op_span("ftruncate");
         let file = self.file(fd)?;
         if !file.flags.writable() {
             return Err(KernelError::with_context(Errno::BadF, "descriptor not open for writing"));
@@ -586,6 +603,7 @@ impl Vfs {
     ///
     /// [`Errno::NoEnt`] if the path does not exist.
     pub fn stat(&self, path: &str) -> KernelResult<InodeAttr> {
+        let _span = crate::trace::op_span("stat");
         let (mount, mut attr) = self.resolve(path)?;
         if attr.kind == FileType::Regular {
             attr.size = attr.size.max(mount.page_cache.file_size(&mount.fs, attr.ino)?);
@@ -595,6 +613,7 @@ impl Vfs {
 
     /// Whether `path` exists.
     pub fn exists(&self, path: &str) -> bool {
+        let _span = crate::trace::op_span("exists");
         self.resolve(path).is_ok()
     }
 
@@ -605,6 +624,7 @@ impl Vfs {
     /// [`Errno::Exist`] if the name exists; [`Errno::NoEnt`] if the parent
     /// does not.
     pub fn mkdir(&self, path: &str) -> KernelResult<()> {
+        let _span = crate::trace::op_span("mkdir");
         let (mount, parent, name) = self.resolve_parent(path)?;
         mount.fs.mkdir(parent.ino, &name, FileMode::directory())?;
         Ok(())
@@ -616,6 +636,7 @@ impl Vfs {
     ///
     /// [`Errno::NotEmpty`] if not empty; [`Errno::NoEnt`] if absent.
     pub fn rmdir(&self, path: &str) -> KernelResult<()> {
+        let _span = crate::trace::op_span("rmdir");
         let (mount, parent, name) = self.resolve_parent(path)?;
         mount.fs.rmdir(parent.ino, &name)
     }
@@ -626,6 +647,7 @@ impl Vfs {
     ///
     /// [`Errno::NoEnt`] if absent; [`Errno::IsDir`] if it is a directory.
     pub fn unlink(&self, path: &str) -> KernelResult<()> {
+        let _span = crate::trace::op_span("unlink");
         let (mount, parent, name) = self.resolve_parent(path)?;
         let target = mount.fs.lookup(parent.ino, &name)?;
         mount.fs.unlink(parent.ino, &name)?;
@@ -642,6 +664,7 @@ impl Vfs {
     /// [`Errno::Inval`] for cross-mount renames; file system errors
     /// propagate.
     pub fn rename(&self, old: &str, new: &str) -> KernelResult<()> {
+        let _span = crate::trace::op_span("rename");
         let (old_mount, old_parent, old_name) = self.resolve_parent(old)?;
         let (new_mount, new_parent, new_name) = self.resolve_parent(new)?;
         if old_mount.id != new_mount.id {
@@ -657,6 +680,7 @@ impl Vfs {
     /// [`Errno::NoSys`] if the file system does not support links;
     /// [`Errno::Inval`] for cross-mount links.
     pub fn link(&self, existing: &str, new: &str) -> KernelResult<()> {
+        let _span = crate::trace::op_span("link");
         let (mount, attr) = self.resolve(existing)?;
         let (new_mount, new_parent, new_name) = self.resolve_parent(new)?;
         if mount.id != new_mount.id {
@@ -672,6 +696,7 @@ impl Vfs {
     ///
     /// [`Errno::NoEnt`] if absent; [`Errno::IsDir`] for directories.
     pub fn truncate(&self, path: &str, size: u64) -> KernelResult<()> {
+        let _span = crate::trace::op_span("truncate");
         let (mount, attr) = self.resolve(path)?;
         if attr.kind == FileType::Directory {
             return Err(KernelError::with_context(Errno::IsDir, "cannot truncate a directory"));
@@ -687,6 +712,7 @@ impl Vfs {
     ///
     /// [`Errno::NotDir`] if `path` is not a directory.
     pub fn readdir(&self, path: &str) -> KernelResult<Vec<DirEntry>> {
+        let _span = crate::trace::op_span("readdir");
         let (mount, attr) = self.resolve(path)?;
         if attr.kind != FileType::Directory {
             return Err(KernelError::with_context(Errno::NotDir, "not a directory"));
@@ -700,6 +726,7 @@ impl Vfs {
     ///
     /// [`Errno::NoEnt`] if no mount owns the path.
     pub fn statfs(&self, path: &str) -> KernelResult<StatFs> {
+        let _span = crate::trace::op_span("statfs");
         let (mount, _) = self.resolve(path)?;
         mount.fs.statfs()
     }
@@ -711,6 +738,7 @@ impl Vfs {
     ///
     /// I/O errors propagate.
     pub fn sync(&self) -> KernelResult<()> {
+        let _span = crate::trace::op_span("sync");
         let mounts: Vec<Arc<Mount>> = self.mounts.read().iter().cloned().collect();
         for mount in mounts {
             mount.page_cache.writeback_all(&mount.fs)?;

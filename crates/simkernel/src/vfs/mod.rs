@@ -293,6 +293,25 @@ impl WritePathStats {
     }
 }
 
+/// Operation-level counters a file system may expose (see
+/// [`VfsFs::op_stats`]): the neutral projection of the concrete cores'
+/// stats structs (the xv6 cores' `FsStats`, ext4sim's journal counters),
+/// so the unified metrics registry ([`crate::registry`]) can absorb every
+/// stack through one trait call instead of per-crate downcasts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsOpStats {
+    /// Files created.
+    pub creates: u64,
+    /// Files/directories removed.
+    pub removes: u64,
+    /// Payload bytes read through the file system.
+    pub bytes_read: u64,
+    /// Payload bytes written through the file system.
+    pub bytes_written: u64,
+    /// Explicit durability operations (fsync/fdatasync) served.
+    pub fsyncs: u64,
+}
+
 /// Mount options passed at mount time (the equivalent of `-o` options).
 #[derive(Debug, Clone, Default)]
 pub struct MountOptions {
@@ -364,6 +383,13 @@ pub trait VfsFs: Send + Sync {
     /// Write-path batching statistics, if this file system tracks them
     /// (journalling file systems do; the in-memory ones return `None`).
     fn write_path_stats(&self) -> Option<WritePathStats> {
+        None
+    }
+
+    /// Operation-level counters, if this file system tracks them (see
+    /// [`FsOpStats`]); the unified metrics registry publishes these per
+    /// mounted stack.
+    fn op_stats(&self) -> Option<FsOpStats> {
         None
     }
 

@@ -82,6 +82,48 @@ impl MountedStack {
         self.vfs.unmount("/")
     }
 
+    /// Publishes this mount's counters into `registry`, keyed by the
+    /// stack's paper label (`"Bento.log_commits"`, `"Ext4.dev_writes"`,
+    /// …).  This is the pull half of the unified metrics story: each
+    /// subsystem keeps its own cheap counters on the hot path and this
+    /// method absorbs whichever of them the mounted stack actually has —
+    /// write-path/journal batching figures, operation counts, the ext4sim
+    /// journal (reached by downcast; it predates
+    /// [`simkernel::vfs::WritePathStats`]), and
+    /// raw device traffic.  Counters a stack does not track are simply
+    /// absent, so reports stay honest about what each baseline measures.
+    pub fn publish_metrics(&self, registry: &simkernel::registry::MetricsRegistry) {
+        let label = self.stack.label();
+        let key = |name: &str| format!("{label}.{name}");
+        if let Ok(fs) = self.vfs.mounted_fs("/") {
+            if let Some(wp) = fs.write_path_stats() {
+                registry.set_counter(&key("log_commits"), wp.log_commits);
+                registry.set_counter(&key("log_ops"), wp.log_ops);
+                registry.set_counter(&key("log_blocks"), wp.log_blocks);
+                registry.set_counter(&key("log_barriers"), wp.log_barriers);
+                registry.set_counter(&key("queue_depth_max"), wp.queue_depth_max);
+                registry.set_counter(&key("queue_depth_sum"), wp.queue_depth_sum);
+                registry.set_counter(&key("queue_depth_samples"), wp.queue_depth_samples);
+            }
+            if let Some(ops) = fs.op_stats() {
+                registry.set_counter(&key("op_creates"), ops.creates);
+                registry.set_counter(&key("op_removes"), ops.removes);
+                registry.set_counter(&key("op_bytes_read"), ops.bytes_read);
+                registry.set_counter(&key("op_bytes_written"), ops.bytes_written);
+                registry.set_counter(&key("op_fsyncs"), ops.fsyncs);
+            }
+            if let Some(ext4) = fs.as_any().and_then(|any| any.downcast_ref::<ext4sim::Ext4Sim>()) {
+                let js = ext4.journal_stats();
+                registry.set_counter(&key("log_commits"), js.commits);
+                registry.set_counter(&key("log_blocks"), js.blocks_journaled);
+            }
+        }
+        let dev = self.device.stats();
+        registry.set_counter(&key("dev_reads"), dev.reads);
+        registry.set_counter(&key("dev_writes"), dev.writes);
+        registry.set_counter(&key("dev_flushes"), dev.flushes);
+    }
+
     /// Unmounts the stack and, for the two xv6 variants, runs the offline
     /// consistency checker over the raw device, failing if the on-disk
     /// image violates any invariant.
@@ -282,6 +324,52 @@ mod tests {
         // Without the option the mount stays on the synchronous model.
         let sync = mount_stack(FsStack::BentoXv6, CostModel::zero(), 16_384).unwrap();
         assert!(sync.device.as_queued().is_none());
+    }
+
+    #[test]
+    fn publish_metrics_absorbs_stack_counters_into_a_registry() {
+        use simkernel::registry::MetricsRegistry;
+        for stack in FsStack::all() {
+            let registry = MetricsRegistry::new();
+            let mounted = mount_stack(stack, CostModel::zero(), 16_384).unwrap();
+            let fd = mounted.vfs.open("/m", OpenFlags::RDWR.with(OpenFlags::CREAT)).unwrap();
+            mounted.vfs.write(fd, b"metrics").unwrap();
+            mounted.vfs.fsync(fd).unwrap();
+            mounted.vfs.close(fd).unwrap();
+            mounted.publish_metrics(&registry);
+            let snap = registry.snapshot();
+            let label = stack.label();
+            // Every stack runs on the shared device models, so raw device
+            // traffic is always present; the fsync forced writes out.
+            assert!(
+                snap.counter(&format!("{label}.dev_writes")).is_some_and(|v| v > 0),
+                "{label} published no device writes: {:?}",
+                snap.counters
+            );
+            // The journaled stacks also surface commit counters.
+            match stack {
+                FsStack::BentoXv6 | FsStack::Ext4 => {
+                    assert!(
+                        snap.counter(&format!("{label}.log_commits")).is_some_and(|v| v > 0),
+                        "{label} published no log commits: {:?}",
+                        snap.counters
+                    );
+                }
+                FsStack::VfsXv6 | FsStack::FuseXv6 => {}
+            }
+            mounted.unmount().unwrap();
+        }
+        // Bento is the only stack wiring FsStats through op_stats today.
+        let registry = MetricsRegistry::new();
+        let mounted = mount_stack(FsStack::BentoXv6, CostModel::zero(), 16_384).unwrap();
+        let fd = mounted.vfs.open("/ops", OpenFlags::RDWR.with(OpenFlags::CREAT)).unwrap();
+        mounted.vfs.write(fd, b"counted").unwrap();
+        mounted.vfs.close(fd).unwrap();
+        mounted.publish_metrics(&registry);
+        let snap = registry.snapshot();
+        assert!(snap.counter("Bento.op_creates").is_some_and(|v| v > 0));
+        assert!(snap.counter("Bento.op_bytes_written").is_some_and(|v| v >= 7));
+        mounted.unmount().unwrap();
     }
 
     #[test]

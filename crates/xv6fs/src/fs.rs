@@ -41,7 +41,7 @@ use bento::fileops::{CreateReply, FileSystem, Request};
 use bento::upgrade::StateBundle;
 use simkernel::error::{Errno, KernelError, KernelResult};
 use simkernel::vfs::{
-    DirEntry, FileMode, FileType, InodeAttr, OpenFlags, SetAttr, StatFs, WritePathStats,
+    DirEntry, FileMode, FileType, FsOpStats, InodeAttr, OpenFlags, SetAttr, StatFs, WritePathStats,
 };
 
 use crate::core::{FsCore, FsStats};
@@ -106,6 +106,21 @@ impl Xv6FileSystem {
     /// Cumulative activity statistics (zeroed until mounted).
     pub fn stats(&self) -> FsStats {
         self.core.read().as_ref().map(|c| c.stats.snapshot()).unwrap_or_default()
+    }
+
+    /// Operation-level counters in the VFS-neutral shape the unified
+    /// metrics registry consumes (`None` until mounted).
+    pub fn op_stats(&self) -> Option<FsOpStats> {
+        self.core.read().as_ref().map(|c| {
+            let s = c.stats.snapshot();
+            FsOpStats {
+                creates: s.creates,
+                removes: s.removes,
+                bytes_read: s.bytes_read,
+                bytes_written: s.bytes_written,
+                fsyncs: s.fsyncs,
+            }
+        })
     }
 
     /// Log statistics (zeroed until mounted).
@@ -774,6 +789,10 @@ impl FileSystem for Xv6FileSystem {
 
     fn write_path_stats(&self) -> Option<WritePathStats> {
         Xv6FileSystem::write_path_stats(self)
+    }
+
+    fn op_stats(&self) -> Option<FsOpStats> {
+        Xv6FileSystem::op_stats(self)
     }
 
     fn extract_state(&self, _req: &Request, _sb: &SuperBlock) -> KernelResult<StateBundle> {
