@@ -1,0 +1,112 @@
+//! `benchdiff` — the cross-run BENCH regression gate.
+//!
+//! ```text
+//! benchdiff <base.json> <new.json> [--latency-tol F] [--throughput-tol F]
+//!           [--warn-only-throughput] [--warn-only-latency]
+//! ```
+//!
+//! Compares two BENCH report files row-by-row (joined on
+//! experiment/config/stack) and exits nonzero when a gated row regressed
+//! beyond its noise tolerance: throughput drops, tail-latency (p99/pause)
+//! rises, or — with zero tolerance and never downgradeable — error/alert
+//! count increases.  See [`bench::diff`] for the row classification rules.
+
+use std::process::ExitCode;
+
+use bench::diff::{diff_reports, DiffConfig, Finding};
+use bench::report::report_from_json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: benchdiff <base.json> <new.json> [--latency-tol F] [--throughput-tol F] \
+         [--warn-only-throughput] [--warn-only-latency]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_tol(value: Option<String>, flag: &str) -> f64 {
+    let Some(value) = value else {
+        eprintln!("benchdiff: {flag} needs a value (relative fraction, e.g. 0.25)");
+        usage();
+    };
+    match value.parse::<f64>() {
+        Ok(f) if f >= 0.0 => f,
+        _ => {
+            eprintln!("benchdiff: {flag} must be a non-negative number, got {value:?}");
+            usage();
+        }
+    }
+}
+
+fn print_findings(heading: &str, findings: &[Finding]) {
+    if findings.is_empty() {
+        return;
+    }
+    println!("{heading}:");
+    for f in findings {
+        println!("  {:<12} {:<44} {}", format!("[{:?}]", f.kind).to_lowercase(), f.key, f.detail);
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut paths: Vec<String> = Vec::new();
+    let mut cfg = DiffConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--latency-tol" => cfg.latency_tolerance = parse_tol(args.next(), "--latency-tol"),
+            "--throughput-tol" => {
+                cfg.throughput_tolerance = parse_tol(args.next(), "--throughput-tol");
+            }
+            "--warn-only-throughput" => cfg.warn_only_throughput = true,
+            "--warn-only-latency" => cfg.warn_only_latency = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("benchdiff: unknown flag {other}");
+                usage();
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [base_path, new_path] = paths.as_slice() else { usage() };
+
+    let read_report = |path: &str| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("benchdiff: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        report_from_json(&text).unwrap_or_else(|e| {
+            eprintln!("benchdiff: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base = read_report(base_path);
+    let new = read_report(new_path);
+
+    println!(
+        "benchdiff: base {} ({} rows, rev {}) vs new {} ({} rows, rev {})",
+        base_path,
+        base.rows.len(),
+        base.meta.git_rev,
+        new_path,
+        new.rows.len(),
+        new.meta.git_rev,
+    );
+    let diff = diff_reports(&base, &new, &cfg);
+    println!(
+        "compared {} row pairs (throughput tol {:.0}%, latency tol {:.0}%)",
+        diff.compared,
+        cfg.throughput_tolerance * 100.0,
+        cfg.latency_tolerance * 100.0
+    );
+    print_findings("REGRESSIONS", &diff.regressions);
+    print_findings("warnings", &diff.warnings);
+    print_findings("improvements", &diff.improvements);
+    if diff.is_pass() {
+        println!("PASS: no hard regressions");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL: {} hard regression(s)", diff.regressions.len());
+        ExitCode::FAILURE
+    }
+}

@@ -9,11 +9,11 @@
 use std::collections::BTreeSet;
 
 use bench::{
-    crash_experiment, fig2_read_4k, fig3_read_throughput, fig4_write_throughput, load_experiment,
-    load_smoke_experiment, obs_experiment, print_rows, report_to_json, scaling_experiment,
-    scaling_experiment_with_threads, table1_bug_analysis, table2_mechanism_comparison,
-    table4_create, table5_delete, table6_macrobenchmarks, ExperimentConfig, Row, RunMeta,
-    SCALING_SMOKE_THREADS,
+    crash_experiment, fig2_read_4k, fig3_read_throughput, fig4_write_throughput, health_experiment,
+    load_experiment, load_smoke_experiment, obs_experiment, print_rows, report_to_json,
+    scaling_experiment, scaling_experiment_with_threads, table1_bug_analysis,
+    table2_mechanism_comparison, table4_create, table5_delete, table6_macrobenchmarks,
+    ExperimentConfig, Row, RunMeta, SCALING_SMOKE_THREADS,
 };
 
 /// Runs one experiment, appends an `elapsed` row recording how long it took
@@ -55,7 +55,7 @@ fn main() {
     if selected.is_empty() || selected.contains("all") {
         selected = [
             "table1", "table2", "fig2", "fig3", "fig4", "table4", "table5", "table6", "scaling",
-            "crash", "load", "obs",
+            "crash", "load", "obs", "health",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -176,6 +176,26 @@ fn main() {
             "scaling-smoke",
             "Scaling smoke: 1 and 8 threads, write-path batching counters",
             || scaling_experiment_with_threads(&cfg, &SCALING_SMOKE_THREADS),
+        );
+    }
+    if selected.contains("health") {
+        // Continuous health engine: disabled-path observe cost (gated),
+        // clean-run false-positive gate, the EIO burn-rate fire/clear
+        // contract, the upgrade pause as a commit-wait-attributed flagged
+        // window, and schema-checked incident bundles written next to the
+        // BENCH report (or into the working directory without --json).
+        let incident_dir = json_path
+            .as_deref()
+            .and_then(|p| std::path::Path::new(p).parent())
+            .filter(|p| !p.as_os_str().is_empty())
+            .map(std::path::Path::to_path_buf)
+            .unwrap_or_else(|| std::path::PathBuf::from("."));
+        run(
+            &mut all_rows,
+            &mut failures,
+            "health",
+            "Health: windowed SLO burn rates, stall flagging, incident bundles",
+            || health_experiment(&cfg, &incident_dir),
         );
     }
     if selected.contains("obs") {

@@ -1,0 +1,278 @@
+//! Cross-run BENCH report comparison: the `benchdiff` regression gate.
+//!
+//! Two BENCH reports are joined row-by-row on the `(experiment, config,
+//! stack)` key and each pair is judged by the row's *kind* — inferred from
+//! its unit and config label, so the gate needs no out-of-band schema:
+//!
+//! * **throughput** (`ops/sec`, `MB/s`, `files/sec`): higher is better;
+//!   a drop beyond the tolerance regresses.
+//! * **latency** (`us`/`ms`/`ns`/`seconds` rows whose config names a tail
+//!   percentile or pause): lower is better; a rise beyond the tolerance
+//!   regresses.  Non-tail latency rows (p50s, means, elapsed timers) are
+//!   informational — medians move with machine load and gating them makes
+//!   the gate cry wolf.
+//! * **error counts** (`count`/`violations` rows whose config names
+//!   errors, failures, violations or alerts): *any* increase regresses —
+//!   these rows are exact, so they get no noise tolerance.
+//!
+//! Per-row noise tolerances absorb run-to-run jitter; CI additionally
+//! downgrades throughput and latency to warnings (shared runners) while
+//! keeping error/SLO rows hard — see `.github/workflows/ci.yml`.
+
+use crate::report::{BenchReport, Row};
+
+/// How a row is judged by the diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowKind {
+    /// Higher is better, tolerance applies.
+    Throughput,
+    /// Lower is better, tolerance applies (tail-latency rows only).
+    TailLatency,
+    /// Exact: any increase is a regression (error/alert counters).
+    ErrorCount,
+    /// Compared for the report but never gated.
+    Informational,
+}
+
+/// Classifies one row by unit + config label.
+pub fn classify(row: &Row) -> RowKind {
+    let unit = row.unit.as_str();
+    let config = row.config.to_ascii_lowercase();
+    if unit == "count" || unit == "violations" {
+        let error_markers =
+            ["error", "errors", "failed", "violation", "alert", "incident", "fsck", "lost"];
+        if error_markers.iter().any(|m| config.contains(m)) {
+            return RowKind::ErrorCount;
+        }
+        return RowKind::Informational;
+    }
+    if matches!(unit, "ops/sec" | "MB/s" | "files/sec") {
+        return RowKind::Throughput;
+    }
+    if matches!(unit, "us" | "ms" | "ns" | "seconds") {
+        let tail_markers = ["p99", "p999", "pause"];
+        if tail_markers.iter().any(|m| config.contains(m)) {
+            return RowKind::TailLatency;
+        }
+    }
+    RowKind::Informational
+}
+
+/// Tolerances and gating switches for one diff.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Allowed relative throughput drop before a row regresses (0.25 =
+    /// -25%).
+    pub throughput_tolerance: f64,
+    /// Allowed relative tail-latency rise before a row regresses.
+    pub latency_tolerance: f64,
+    /// Downgrade throughput regressions to warnings.
+    pub warn_only_throughput: bool,
+    /// Downgrade tail-latency regressions to warnings.
+    pub warn_only_latency: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        // Wide defaults: BENCH numbers come from latency-modelled
+        // simulation on shared machines, so only sizeable moves should
+        // gate.  Error-count rows are exact and have no tolerance at all.
+        DiffConfig {
+            throughput_tolerance: 0.25,
+            latency_tolerance: 0.50,
+            warn_only_throughput: false,
+            warn_only_latency: false,
+        }
+    }
+}
+
+/// One compared row pair that moved against the baseline.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// `experiment/config/stack` key.
+    pub key: String,
+    /// The row's judged kind.
+    pub kind: RowKind,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value.
+    pub new: f64,
+    /// Human-readable verdict line.
+    pub detail: String,
+}
+
+/// The outcome of one report comparison.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Hard regressions (exit nonzero).
+    pub regressions: Vec<Finding>,
+    /// Moves beyond tolerance that the config downgraded, plus rows
+    /// missing from the new report.
+    pub warnings: Vec<Finding>,
+    /// Gated rows that moved in the *good* direction beyond tolerance.
+    pub improvements: Vec<Finding>,
+    /// Row pairs compared.
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// Whether the diff found no hard regressions.
+    pub fn is_pass(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn key_of(row: &Row) -> String {
+    format!("{}/{}/{}", row.experiment, row.config, row.stack)
+}
+
+/// Relative change of `new` against `base`, sign-normalized so positive
+/// always means "worse" for the given kind.
+fn badness(kind: RowKind, base: f64, new: f64) -> f64 {
+    let denom = base.abs().max(f64::MIN_POSITIVE);
+    match kind {
+        RowKind::Throughput => (base - new) / denom,
+        _ => (new - base) / denom,
+    }
+}
+
+/// Compares `new` against `base` row-by-row.  Rows present only in `base`
+/// produce warnings (a vanished row silently un-gates itself otherwise);
+/// rows present only in `new` are ignored (new coverage is not a
+/// regression).
+pub fn diff_reports(base: &BenchReport, new: &BenchReport, cfg: &DiffConfig) -> DiffReport {
+    let mut out = DiffReport::default();
+    for base_row in &base.rows {
+        let key = key_of(base_row);
+        let Some(new_row) = new.rows.iter().find(|r| key_of(r) == key) else {
+            out.warnings.push(Finding {
+                key,
+                kind: classify(base_row),
+                base: base_row.value,
+                new: f64::NAN,
+                detail: "row missing from new report".to_string(),
+            });
+            continue;
+        };
+        out.compared += 1;
+        let kind = classify(base_row);
+        let (tolerance, warn_only) = match kind {
+            RowKind::Throughput => (cfg.throughput_tolerance, cfg.warn_only_throughput),
+            RowKind::TailLatency => (cfg.latency_tolerance, cfg.warn_only_latency),
+            RowKind::ErrorCount => (0.0, false),
+            RowKind::Informational => continue,
+        };
+        let (base_v, new_v) = (base_row.value, new_row.value);
+        let finding =
+            |detail: String| Finding { key: key.clone(), kind, base: base_v, new: new_v, detail };
+        if kind == RowKind::ErrorCount {
+            if new_v > base_v {
+                out.regressions.push(finding(format!(
+                    "error-count row rose {base_v} -> {new_v} (no tolerance)"
+                )));
+            }
+            continue;
+        }
+        let bad = badness(kind, base_v, new_v);
+        if bad > tolerance {
+            let detail = format!(
+                "{} {:.1} -> {:.1} ({:+.0}% worse, tolerance {:.0}%)",
+                base_row.unit,
+                base_v,
+                new_v,
+                bad * 100.0,
+                tolerance * 100.0
+            );
+            if warn_only {
+                out.warnings.push(finding(detail));
+            } else {
+                out.regressions.push(finding(detail));
+            }
+        } else if bad < -tolerance {
+            out.improvements.push(finding(format!(
+                "{} {:.1} -> {:.1} ({:.0}% better)",
+                base_row.unit,
+                base_v,
+                new_v,
+                -bad * 100.0
+            )));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::RunMeta;
+
+    fn report(rows: Vec<Row>) -> BenchReport {
+        BenchReport { meta: RunMeta::detect(1, true), rows }
+    }
+
+    fn row(config: &str, value: f64, unit: &str) -> Row {
+        Row::new("exp", config, "Bento", value, unit, None)
+    }
+
+    #[test]
+    fn classification_by_unit_and_label() {
+        assert_eq!(classify(&row("varmail", 100.0, "ops/sec")), RowKind::Throughput);
+        assert_eq!(classify(&row("seq-read", 100.0, "MB/s")), RowKind::Throughput);
+        assert_eq!(classify(&row("varmail-p99-us", 400.0, "us")), RowKind::TailLatency);
+        assert_eq!(classify(&row("upgrade-pause-us", 400.0, "us")), RowKind::TailLatency);
+        assert_eq!(classify(&row("varmail-p50-us", 80.0, "us")), RowKind::Informational);
+        assert_eq!(classify(&row("elapsed", 2.0, "seconds")), RowKind::Informational);
+        assert_eq!(classify(&row("eio-failed-ops", 3.0, "count")), RowKind::ErrorCount);
+        assert_eq!(classify(&row("health-varmail-alerts", 0.0, "count")), RowKind::ErrorCount);
+        assert_eq!(classify(&row("fsck-violations", 0.0, "violations")), RowKind::ErrorCount);
+        assert_eq!(classify(&row("spec-ctr-log_commits", 12.0, "count")), RowKind::Informational);
+    }
+
+    #[test]
+    fn tolerances_gate_throughput_and_tail_latency() {
+        let base =
+            report(vec![row("varmail", 1000.0, "ops/sec"), row("varmail-p99-us", 100.0, "us")]);
+        let within =
+            report(vec![row("varmail", 800.0, "ops/sec"), row("varmail-p99-us", 140.0, "us")]);
+        let cfg = DiffConfig::default();
+        let diff = diff_reports(&base, &within, &cfg);
+        assert!(diff.is_pass(), "within tolerance: {:?}", diff.regressions);
+        assert_eq!(diff.compared, 2);
+
+        let beyond =
+            report(vec![row("varmail", 600.0, "ops/sec"), row("varmail-p99-us", 200.0, "us")]);
+        let diff = diff_reports(&base, &beyond, &cfg);
+        assert_eq!(diff.regressions.len(), 2, "both gates trip: {:?}", diff.warnings);
+
+        let warn_cfg = DiffConfig { warn_only_throughput: true, warn_only_latency: true, ..cfg };
+        let diff = diff_reports(&base, &beyond, &warn_cfg);
+        assert!(diff.is_pass());
+        assert_eq!(diff.warnings.len(), 2, "downgraded to warnings");
+    }
+
+    #[test]
+    fn error_counts_have_zero_tolerance_even_in_warn_mode() {
+        let base = report(vec![row("eio-failed-ops", 0.0, "count")]);
+        let new = report(vec![row("eio-failed-ops", 1.0, "count")]);
+        let cfg = DiffConfig {
+            warn_only_throughput: true,
+            warn_only_latency: true,
+            ..DiffConfig::default()
+        };
+        let diff = diff_reports(&base, &new, &cfg);
+        assert_eq!(diff.regressions.len(), 1, "one new failed op is a hard fail");
+        // Equal stays clean; decreases are fine.
+        assert!(diff_reports(&base, &base, &cfg).is_pass());
+        assert!(diff_reports(&new, &base, &cfg).is_pass());
+    }
+
+    #[test]
+    fn missing_rows_warn_and_improvements_are_reported() {
+        let base = report(vec![row("varmail", 1000.0, "ops/sec"), row("gone", 1.0, "ops/sec")]);
+        let new = report(vec![row("varmail", 2000.0, "ops/sec")]);
+        let diff = diff_reports(&base, &new, &DiffConfig::default());
+        assert!(diff.is_pass());
+        assert_eq!(diff.warnings.len(), 1, "vanished row warns");
+        assert_eq!(diff.improvements.len(), 1, "doubling throughput is an improvement");
+    }
+}

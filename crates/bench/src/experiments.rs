@@ -855,6 +855,22 @@ fn load_personality_rows(
             None,
         ));
     }
+    // Windowed throughput: min/mean/max completed-op rate over the run's
+    // complete timeline windows.  A steady closed-loop run keeps min near
+    // max; a collapse (stall, livelock) shows up as a cratered min long
+    // before it moves the whole-run mean.
+    if let Some((min, mean, max)) = result.window_rate_summary() {
+        for (suffix, value) in [("min", min), ("mean", mean), ("max", max)] {
+            rows.push(Row::new(
+                "load",
+                &format!("{}-window-rate-{suffix}", spec.name),
+                label,
+                value,
+                "ops/sec",
+                None,
+            ));
+        }
+    }
     // Per-class error counts: zero on a clean run (this run is gated clean
     // above), but the row's presence keeps fault-run JSONs comparable.
     for class in &result.per_op {
@@ -1182,6 +1198,9 @@ pub fn obs_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
             let load_cfg = loadgen::LoadConfig::closed(cfg.macro_threads, duration);
             loadgen::prepare(&mounted.vfs, &spec, &load_cfg)?;
             let tracing = trace::enable();
+            // Fresh epoch: rings and the per-thread drop counters start at
+            // zero, so `trace::dropped()` below is this run's overflow.
+            trace::reset();
             let result = loadgen::run_load(&mounted.vfs, &spec, &load_cfg)?;
             drop(tracing);
             if !result.is_clean() {
@@ -1190,23 +1209,51 @@ pub fn obs_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
                     "obs: traced load run failed ops or recorded no latency",
                 ));
             }
-            // Gate: every class that completed work produced spans.
+            // Gate: every class that completed work produced spans.  A span
+            // evicted by ring overflow was still *produced* (the driver
+            // aggregates the record at finish time), so ring drops are
+            // reported, not a coverage hole — but a class whose span count
+            // falls short by more than the run's total drops has an
+            // uninstrumented path, and more spans than completions is
+            // double-counting.
+            let dropped = trace::dropped();
+            let mut span_deficit = 0u64;
             for class in &result.per_op {
-                let traced = result.trace_class(class.kind);
-                if traced.map_or(0, |t| t.spans) != class.completed {
+                let spans = result.trace_class(class.kind).map_or(0, |t| t.spans);
+                if spans > class.completed {
                     eprintln!(
                         "obs: {label}/{}: class {} completed {} ops but traced {} spans",
                         spec.name,
                         class.kind.label(),
                         class.completed,
-                        traced.map_or(0, |t| t.spans),
+                        spans,
                     );
                     return Err(KernelError::with_context(
                         Errno::Io,
-                        "obs: an op class completed work without trace spans",
+                        "obs: an op class traced more spans than it completed",
                     ));
                 }
+                span_deficit += class.completed - spans;
             }
+            if span_deficit > dropped {
+                eprintln!(
+                    "obs: {label}/{}: {span_deficit} completed ops have no span \
+                     (only {dropped} ring drops can account for them)",
+                    spec.name,
+                );
+                return Err(KernelError::with_context(
+                    Errno::Io,
+                    "obs: an op class completed work without trace spans",
+                ));
+            }
+            rows.push(Row::new(
+                "obs",
+                &format!("{}-dropped-spans", spec.name),
+                label,
+                dropped as f64,
+                "spans",
+                None,
+            ));
             // Gate: the stack's required phases were all observed.
             let mut attributed_ns = 0u64;
             let mut total_ns = 0u64;
@@ -1268,6 +1315,10 @@ pub fn obs_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
             mounted.vfs.sync()?;
             let registry = MetricsRegistry::new();
             mounted.publish_metrics(&registry);
+            // The trace subsystem's own back-pressure counters ride the
+            // same registry (`trace.dropped_spans[.ringN]`), so ring
+            // overflow is visible wherever the mount's counters go.
+            trace::publish_dropped(&registry);
             let snapshot = registry.snapshot();
             for (key, value) in &snapshot.counters {
                 let name = key.strip_prefix(&format!("{label}.")).unwrap_or(key);
@@ -1308,6 +1359,496 @@ pub fn obs_experiment(cfg: &ExperimentConfig) -> KernelResult<Vec<Row>> {
         "%",
         None,
     ));
+    Ok(rows)
+}
+
+/// One clean, traced, monitored closed-loop run of `spec` on the Bento
+/// stack: mounts, wires the monitor's registry snapshot source to the
+/// mount's counters, runs under a fresh trace epoch (the monitor's flight
+/// recorder drains spans from the rings), and unmounts.
+fn run_monitored_clean(
+    spec: &loadgen::WorkloadSpec,
+    cfg: &ExperimentConfig,
+    duration: Duration,
+    mon: &std::sync::Arc<monitor::HealthMonitor>,
+) -> KernelResult<loadgen::LoadResult> {
+    use std::sync::Arc;
+    let mounted = mount_stack(FsStack::BentoXv6, cfg.model.clone(), cfg.disk_blocks)?;
+    let load_cfg =
+        loadgen::LoadConfig::closed(cfg.macro_threads, duration).with_monitor(Arc::clone(mon));
+    loadgen::prepare(&mounted.vfs, spec, &load_cfg)?;
+    let source_stack = MountedStack {
+        vfs: Arc::clone(&mounted.vfs),
+        stack: FsStack::BentoXv6,
+        device: Arc::clone(&mounted.device),
+    };
+    let registry = simkernel::registry::MetricsRegistry::new();
+    mon.set_snapshot_source(move || {
+        source_stack.publish_metrics(&registry);
+        registry.snapshot()
+    });
+    let tracing = simkernel::trace::enable();
+    simkernel::trace::reset();
+    let result = loadgen::run_load(&mounted.vfs, spec, &load_cfg)?;
+    drop(tracing);
+    mounted.unmount()?;
+    Ok(result)
+}
+
+/// The `health` experiment: the continuous health engine end to end (CI's
+/// `health-smoke` gate).
+///
+/// Four parts:
+///
+/// 1. **Disabled-path overhead**: [`monitor::HealthMonitor::observe`] with
+///    the monitor off must cost under 250 ns/call — a single relaxed
+///    atomic load, the same bar as the disabled trace hook.
+/// 2. **Calibration + false-positive gate**: varmail, fileserver, and
+///    webserver run clean, traced and monitored on Bento.  A calibration
+///    pass learns each workload's shape — the op-indexed window width
+///    (~1/48 of the run), the clean run's slowest single op, and the
+///    clean per-class commit-wait maxima for read-class ops (structurally
+///    zero: reads and stats never touch the journal); the gate pass
+///    re-runs with an errors-only SLO, the whole-window stall detector at
+///    8x the clean maximum, and read/stat commit-wait phase-stall
+///    detectors armed, and must emit **zero** alerts.  Calibrating
+///    against a clean run of the same workload (rather than hard-coding
+///    nanoseconds) keeps the gate meaningful on any machine speed.
+/// 3. **Fault detection**: varmail over a transient-EIO fault device
+///    ([`loadgen::run_eio_under_load`], 8% write-fault probability for the
+///    middle half of the run).  The error-budget SLO must burn-rate-fire
+///    within two windows of the first failed op, clear after the fault
+///    lifts, and freeze an incident bundle.
+/// 4. **Pause attribution**: the live upgrade under webserver traffic
+///    ([`loadgen::run_upgrade_under_load`]) must surface as a flagged
+///    window attributed to `commit-wait` — the phase BentoFs charges
+///    blocked readers to while the upgrade holds the FS write lock.  The
+///    whole-window stall detector cannot see this: on a busy 1-CPU run
+///    the clean window *maximum* (group-commit waits, scheduler noise)
+///    runs tens of milliseconds while the upgrade quiesce is a few
+///    hundred microseconds.  The per-class phase-stall detector
+///    ([`monitor::PhaseStallSpec`]) inverts the problem: clean reads
+///    spend exactly zero ns in commit-wait, so *any* over-floor
+///    commit-wait on a read is categorical evidence of the pause.
+///
+/// Every frozen incident bundle is written into `incident_dir`
+/// (`INCIDENT_<id>_<kind>.json`, next to the BENCH report) and re-read
+/// through [`monitor::IncidentBundle::schema_check`].
+///
+/// # Errors
+///
+/// Fails on any gate above, or on mount/run errors.
+pub fn health_experiment(
+    cfg: &ExperimentConfig,
+    incident_dir: &std::path::Path,
+) -> KernelResult<Vec<Row>> {
+    use monitor::{
+        HealthEvent, HealthMonitor, IncidentBundle, MonitorConfig, PhaseStallSpec, SloSpec,
+    };
+    use simkernel::error::{Errno, KernelError};
+    use simkernel::trace::Phase;
+    use std::sync::Arc;
+
+    let mut rows = Vec::new();
+    let label = FsStack::BentoXv6.label();
+    let budget = 0.002;
+
+    // Part 1: the disabled path must stay one atomic load.
+    let probe = HealthMonitor::new(MonitorConfig::new(u64::MAX));
+    probe.set_enabled(false);
+    let observe_ns = monitor::disabled_observe_cost_ns(&probe, 100_000);
+    rows.push(Row::new("health", "disabled-observe-ns", "-", observe_ns, "ns", None));
+    if observe_ns > 250.0 {
+        eprintln!("health: disabled monitor observe costs {observe_ns:.1} ns/call (bound 250)");
+        return Err(KernelError::with_context(
+            Errno::Io,
+            "disabled-path monitor observe exceeded its overhead bound",
+        ));
+    }
+
+    let duration = cfg.duration.max(Duration::from_millis(250));
+    let files = (cfg.macro_files_per_thread * cfg.macro_threads).max(40);
+
+    // Part 2: per-workload calibration, then the clean-run false-positive
+    // gate with every detector armed.  Clean reads and stats never enter
+    // commit-wait at all (they never touch the journal; BentoFs only
+    // charges the phase to readers blocked behind the upgrade write
+    // lock), so the phase-stall floor can sit at a fixed 20 us: far above
+    // the structural zero, comfortably below the shortest observed quick
+    // -mode pause (~70 us, of which a blocked reader eats most).
+    const READ_STALL_FLOOR_NS: u64 = 20_000;
+    let read_phase_stalls = |threshold_ns: u64| {
+        [
+            PhaseStallSpec::new("read-commit-wait", "read", Phase::CommitWait, threshold_ns),
+            PhaseStallSpec::new("stat-commit-wait", "stat", Phase::CommitWait, threshold_ns),
+        ]
+    };
+    let mut calibrations: std::collections::BTreeMap<String, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    let specs: [fn() -> loadgen::WorkloadSpec; 3] = [
+        loadgen::WorkloadSpec::varmail,
+        loadgen::WorkloadSpec::fileserver,
+        loadgen::WorkloadSpec::webserver,
+    ];
+    for make_spec in specs {
+        let spec = make_spec().with_files(files);
+        let cal_mon = HealthMonitor::new(MonitorConfig::new(512));
+        let cal = run_monitored_clean(&spec, cfg, duration, &cal_mon)?;
+        if !cal.is_clean() {
+            return Err(KernelError::with_context(
+                Errno::Io,
+                "health: calibration run failed ops or recorded no latency",
+            ));
+        }
+        cal_mon.finish();
+        let clean_max_ns = cal_mon.windows().iter().map(|w| w.max_ns).max().unwrap_or(0);
+        if clean_max_ns == 0 {
+            return Err(KernelError::with_context(
+                Errno::Io,
+                "health: calibration run closed no windows",
+            ));
+        }
+        // ~48 windows per run keeps the EIO run's post-fault quarter well
+        // past the 5-window fast lookback; the floor keeps windows from
+        // degenerating on very short runs.
+        let window_ops = (cal.operations / 48).max(40);
+        let stall_threshold_ns = clean_max_ns.saturating_mul(8);
+        // Calibrate the phase-stall threshold against the clean per-class
+        // commit-wait maximum (expected: zero) with 4x headroom.
+        let clean_read_commit_wait_ns = [loadgen::OpKind::Read, loadgen::OpKind::Stat]
+            .iter()
+            .filter_map(|&k| cal.trace_class(k))
+            .map(|t| t.per_phase[Phase::CommitWait.index()].max())
+            .max()
+            .unwrap_or(0);
+        let phase_stall_ns = clean_read_commit_wait_ns.saturating_mul(4).max(READ_STALL_FLOOR_NS);
+        rows.push(Row::new(
+            "health",
+            &format!("{}-window-ops", spec.name),
+            label,
+            window_ops as f64,
+            "ops",
+            None,
+        ));
+        rows.push(Row::new(
+            "health",
+            &format!("{}-clean-max-us", spec.name),
+            label,
+            clean_max_ns as f64 / 1_000.0,
+            "us",
+            None,
+        ));
+
+        let [read_stall, stat_stall] = read_phase_stalls(phase_stall_ns);
+        let gate_mon = HealthMonitor::new(
+            MonitorConfig::new(window_ops)
+                .with_slo(SloSpec::error_budget("error-budget", "*", budget))
+                .with_stall_threshold_ns(stall_threshold_ns)
+                .with_phase_stall(read_stall)
+                .with_phase_stall(stat_stall),
+        );
+        let gate = run_monitored_clean(&spec, cfg, duration, &gate_mon)?;
+        if !gate.is_clean() {
+            return Err(KernelError::with_context(
+                Errno::Io,
+                "health: clean gate run failed ops or recorded no latency",
+            ));
+        }
+        let alerts = gate_mon.alerts();
+        if !alerts.is_empty() {
+            for alert in &alerts {
+                eprintln!("health: {} clean-run false positive: {alert:?}", spec.name);
+            }
+            return Err(KernelError::with_context(
+                Errno::Io,
+                "health: a clean run raised alerts (false positive)",
+            ));
+        }
+        let windows = gate_mon.windows().len();
+        if windows < 5 {
+            eprintln!("health: {} closed only {windows} windows", spec.name);
+            return Err(KernelError::with_context(
+                Errno::Io,
+                "health: too few windows to evaluate burn rates",
+            ));
+        }
+        rows.push(Row::new(
+            "health",
+            &format!("{}-windows", spec.name),
+            label,
+            windows as f64,
+            "windows",
+            None,
+        ));
+        rows.push(Row::new(
+            "health",
+            &format!("{}-false-positive-alerts", spec.name),
+            label,
+            alerts.len() as f64,
+            "count",
+            None,
+        ));
+        calibrations.insert(spec.name.to_string(), (window_ops, phase_stall_ns));
+    }
+    let (window_ops, _) = calibrations["varmail"];
+    let spec = loadgen::WorkloadSpec::varmail().with_files(files);
+    let mut incidents: Vec<IncidentBundle> = Vec::new();
+
+    // Part 3: transient EIO must trip the error-budget SLO within two
+    // windows of the first failed op, and clear once the fault lifts.
+    let eio_mon =
+        HealthMonitor::new(MonitorConfig::new(window_ops).with_slo(SloSpec::error_budget(
+            "eio-error-budget",
+            "*",
+            budget,
+        )));
+    let eio_cfg =
+        loadgen::LoadConfig::closed(cfg.macro_threads, duration).with_monitor(Arc::clone(&eio_mon));
+    let tracing = simkernel::trace::enable();
+    simkernel::trace::reset();
+    let eio_run = loadgen::run_eio_under_load(
+        FsStack::BentoXv6,
+        cfg.model.clone(),
+        cfg.disk_blocks,
+        &spec,
+        &eio_cfg,
+        0.08,
+    );
+    drop(tracing);
+    let (under_eio, eio) = eio_run?;
+    if !eio.recovered {
+        return Err(KernelError::with_context(
+            Errno::Io,
+            "health: stack did not serve durable writes after the EIO window",
+        ));
+    }
+    if under_eio.errors == 0 {
+        return Err(KernelError::with_context(
+            Errno::Io,
+            "health: EIO injection produced no failed ops; nothing to detect",
+        ));
+    }
+    let first_bad = eio_mon.first_error_window().ok_or_else(|| {
+        KernelError::with_context(Errno::Io, "health: failed ops never reached the monitor")
+    })?;
+    let events = eio_mon.events();
+    let fired: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            HealthEvent::SloBurnFired { window, .. } => Some(*window),
+            _ => None,
+        })
+        .collect();
+    let &[fired_at] = fired.as_slice() else {
+        eprintln!("health: expected exactly one burn alert, got {fired:?} (events: {events:?})");
+        return Err(KernelError::with_context(
+            Errno::Io,
+            "health: the EIO run did not fire exactly one burn alert",
+        ));
+    };
+    if fired_at > first_bad + 2 {
+        eprintln!("health: errors started at window {first_bad}, alert waited until {fired_at}");
+        return Err(KernelError::with_context(
+            Errno::Io,
+            "health: burn alert fired more than two windows after the fault",
+        ));
+    }
+    let cleared_at = events
+        .iter()
+        .find_map(|e| match e {
+            HealthEvent::SloBurnCleared { window, .. } => Some(*window),
+            _ => None,
+        })
+        .ok_or_else(|| {
+            eprintln!("health: alert fired at window {fired_at} but never cleared ({events:?})");
+            KernelError::with_context(
+                Errno::Io,
+                "health: burn alert did not clear after the fault lifted",
+            )
+        })?;
+    rows.push(Row::new(
+        "health",
+        "eio-fault-onset-window",
+        label,
+        first_bad as f64,
+        "windows",
+        None,
+    ));
+    rows.push(Row::new("health", "eio-fire-window", label, fired_at as f64, "windows", None));
+    rows.push(Row::new(
+        "health",
+        "eio-fire-lag-windows",
+        label,
+        (fired_at - first_bad) as f64,
+        "windows",
+        None,
+    ));
+    rows.push(Row::new("health", "eio-clear-window", label, cleared_at as f64, "windows", None));
+    // Deterministic on a passing run (the latch holds while burning), so
+    // the benchdiff baseline pins it: more alerts than one is a regression.
+    rows.push(Row::new("health", "eio-alerts", label, fired.len() as f64, "count", None));
+    incidents.extend(eio_mon.take_incidents());
+    if incidents.is_empty() {
+        return Err(KernelError::with_context(
+            Errno::Io,
+            "health: the fired alert froze no incident bundle",
+        ));
+    }
+
+    // Part 4: the live upgrade's pause must surface as a commit-wait
+    // phase-stall on the read classes.  The webserver personality (20:4
+    // read:stat out of 27 weights) makes the ops blocked by the upgrade's
+    // write-lock quiesce almost surely reads, and clean reads never enter
+    // commit-wait at all, so the calibrated floor separates a few hundred
+    // microseconds of pause from tens of milliseconds of legitimate
+    // group-commit noise on the write classes.
+    let up_spec = loadgen::WorkloadSpec::webserver().with_files(files);
+    let (up_window_ops, upgrade_stall_ns) = calibrations["webserver"];
+    // The quiesce-vs-traffic rendezvous is stochastic on a one-CPU host:
+    // the upgrade's grace barrier parks whichever workers the scheduler
+    // happens to run, and occasionally none of them is on a read-class op
+    // (the write classes hold the CPU far longer per op than their 3/27
+    // weight suggests).  A bounded retry keeps the gate deterministic
+    // without loosening the detector; the attempt count is reported.
+    const UPGRADE_ATTEMPTS: usize = 4;
+    let mut upgrade_success = None;
+    for attempt in 1..=UPGRADE_ATTEMPTS {
+        let [read_stall, stat_stall] = read_phase_stalls(upgrade_stall_ns);
+        let up_mon = HealthMonitor::new(
+            MonitorConfig::new(up_window_ops)
+                .with_phase_stall(read_stall)
+                .with_phase_stall(stat_stall),
+        );
+        let mounted = mount_stack(FsStack::BentoXv6, cfg.model.clone(), cfg.disk_blocks)?;
+        let up_cfg = loadgen::LoadConfig::closed(cfg.macro_threads, duration)
+            .with_monitor(Arc::clone(&up_mon));
+        loadgen::prepare(&mounted.vfs, &up_spec, &up_cfg)?;
+        {
+            let source_stack = MountedStack {
+                vfs: Arc::clone(&mounted.vfs),
+                stack: FsStack::BentoXv6,
+                device: Arc::clone(&mounted.device),
+            };
+            let registry = simkernel::registry::MetricsRegistry::new();
+            up_mon.set_snapshot_source(move || {
+                source_stack.publish_metrics(&registry);
+                registry.snapshot()
+            });
+        }
+        let tracing = simkernel::trace::enable();
+        simkernel::trace::reset();
+        let upgrade_run = loadgen::run_upgrade_under_load(&mounted.vfs, &up_spec, &up_cfg);
+        drop(tracing);
+        let (under_upgrade, outcome) = upgrade_run?;
+        if !under_upgrade.is_clean() {
+            return Err(KernelError::with_context(
+                Errno::Io,
+                "health: operations failed during the live upgrade",
+            ));
+        }
+        mounted.unmount()?;
+        let flagged: Vec<(u64, u64, String)> = up_mon
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                HealthEvent::LatencyWindowFlagged { window, max_ns, dominant_phase, .. } => {
+                    Some((*window, *max_ns, dominant_phase.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        let read_commit_wait_ns = [loadgen::OpKind::Read, loadgen::OpKind::Stat]
+            .iter()
+            .filter_map(|&k| under_upgrade.trace_class(k))
+            .map(|t| t.per_phase[Phase::CommitWait.index()].max())
+            .max()
+            .unwrap_or(0);
+        if flagged.is_empty() {
+            eprintln!(
+                "health: attempt {attempt}/{UPGRADE_ATTEMPTS}: upgrade pause {:.1} us (worst \
+                 read commit-wait {:.1} us, fired at {:.1}/{:.1} ms) never tripped the read \
+                 commit-wait stall floor {:.1} us",
+                outcome.report.pause_ns as f64 / 1_000.0,
+                read_commit_wait_ns as f64 / 1_000.0,
+                outcome.fired_at.as_secs_f64() * 1_000.0,
+                duration.as_secs_f64() * 1_000.0,
+                upgrade_stall_ns as f64 / 1_000.0,
+            );
+            continue;
+        }
+        if !flagged.iter().any(|(_, _, phase)| phase == "commit-wait") {
+            eprintln!(
+                "health: attempt {attempt}/{UPGRADE_ATTEMPTS}: flagged windows {flagged:?}; \
+                 none dominated by commit-wait"
+            );
+            continue;
+        }
+        upgrade_success = Some((outcome, flagged, read_commit_wait_ns, up_mon, attempt));
+        break;
+    }
+    let Some((outcome, flagged, read_commit_wait_ns, up_mon, attempts)) = upgrade_success else {
+        return Err(KernelError::with_context(
+            Errno::Io,
+            "health: the upgrade pause was not flagged as a latency window in any attempt",
+        ));
+    };
+    rows.push(Row::new(
+        "health",
+        "upgrade-pause-us",
+        label,
+        outcome.report.pause_ns as f64 / 1_000.0,
+        "us",
+        None,
+    ));
+    rows.push(Row::new("health", "upgrade-attempts", label, attempts as f64, "runs", None));
+    rows.push(Row::new(
+        "health",
+        "upgrade-stall-threshold-us",
+        label,
+        upgrade_stall_ns as f64 / 1_000.0,
+        "us",
+        None,
+    ));
+    rows.push(Row::new(
+        "health",
+        "upgrade-read-commit-wait-us",
+        label,
+        read_commit_wait_ns as f64 / 1_000.0,
+        "us",
+        None,
+    ));
+    rows.push(Row::new(
+        "health",
+        "upgrade-flagged-windows",
+        label,
+        flagged.len() as f64,
+        "windows",
+        None,
+    ));
+    incidents.extend(up_mon.take_incidents());
+
+    // The flight recorder's output contract: every bundle lands next to
+    // the BENCH report and re-parses through the schema check.
+    std::fs::create_dir_all(incident_dir).map_err(|e| {
+        eprintln!("health: cannot create incident dir {}: {e}", incident_dir.display());
+        KernelError::with_context(Errno::Io, "health: cannot create the incident directory")
+    })?;
+    for bundle in &incidents {
+        let path = bundle.write_to(incident_dir).map_err(|e| {
+            eprintln!("health: cannot write incident bundle: {e}");
+            KernelError::with_context(Errno::Io, "health: cannot write an incident bundle")
+        })?;
+        let json = std::fs::read_to_string(&path).map_err(|e| {
+            eprintln!("health: cannot re-read {}: {e}", path.display());
+            KernelError::with_context(Errno::Io, "health: cannot re-read an incident bundle")
+        })?;
+        IncidentBundle::schema_check(&json).map_err(|e| {
+            eprintln!("health: {} fails its schema check: {e}", path.display());
+            KernelError::with_context(Errno::Io, "health: an incident bundle failed schema check")
+        })?;
+        println!("health: wrote {}", path.display());
+    }
+    rows.push(Row::new("health", "bundles-written", "-", incidents.len() as f64, "count", None));
     Ok(rows)
 }
 

@@ -1,9 +1,9 @@
 //! Result rows and rendering.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One measured cell of a table or figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Row {
     /// Experiment id, e.g. `"fig2"` or `"table4"`.
     pub experiment: String,
@@ -69,7 +69,7 @@ pub fn rows_to_json(rows: &[Row]) -> String {
 /// detected CPU count (and git rev / thread config) in every recorded
 /// result makes it visible in the data itself — a BENCH file with
 /// `"cpus": 1` explains its own flat scaling curves.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunMeta {
     /// `git rev-parse --short HEAD` at run time (`"unknown"` outside a
     /// checkout).
@@ -111,7 +111,7 @@ impl RunMeta {
 }
 
 /// The full BENCH JSON document: run metadata plus the measured rows.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
     /// Where/how the rows were measured.
     pub meta: RunMeta,
@@ -125,6 +125,16 @@ pub fn report_to_json(meta: &RunMeta, rows: &[Row]) -> String {
     serde_json::to_string_pretty(&report).unwrap_or_else(|_| "{}".to_string())
 }
 
+/// Parses a BENCH JSON document back into a report (the `benchdiff` input
+/// path).
+///
+/// # Errors
+///
+/// Describes the parse/shape failure.
+pub fn report_from_json(json: &str) -> Result<BenchReport, String> {
+    serde_json::from_str(json).map_err(|e| format!("not a BENCH report: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +145,48 @@ mod tests {
         let json = rows_to_json(&rows);
         assert!(json.contains("seq-1t"));
         assert!(json.contains("150"));
+    }
+
+    #[test]
+    fn hostile_labels_round_trip_through_report_json() {
+        // Escaping audit: quotes, backslashes, control characters, and
+        // path-separator soup in row labels (e.g. a Windows-style incident
+        // path pasted into a config label) must survive serialize → parse
+        // exactly.  The writer escapes `"` `\` and control chars; this pins
+        // it end to end.
+        let hostile = [
+            "quote\"in\"label",
+            "back\\slash\\path",
+            "C:\\bench\\INCIDENT_0_\"slo\".json",
+            "tab\there\nand newline",
+            "unicode-µs-и-漢",
+            "control-\u{1}-char",
+        ];
+        let rows: Vec<Row> = hostile
+            .iter()
+            .enumerate()
+            .map(|(i, label)| {
+                Row::new("audit", label, hostile[(i + 1) % hostile.len()], 1.5, "us", None)
+            })
+            .collect();
+        let meta = RunMeta::detect(1, true);
+        let json = report_to_json(&meta, &rows);
+        let parsed = report_from_json(&json).expect("hostile labels must stay valid JSON");
+        assert_eq!(parsed.rows.len(), rows.len());
+        for (parsed, original) in parsed.rows.iter().zip(rows.iter()) {
+            assert_eq!(parsed.config, original.config);
+            assert_eq!(parsed.stack, original.stack);
+        }
+        // The bare rows array shape too.
+        let parsed_rows: Vec<Row> =
+            serde_json::from_str(&rows_to_json(&rows)).expect("rows array parses");
+        assert_eq!(parsed_rows[0].config, hostile[0]);
+    }
+
+    #[test]
+    fn report_from_json_rejects_garbage() {
+        assert!(report_from_json("nonsense").is_err());
+        assert!(report_from_json("{\"rows\": []}").is_err(), "meta is required");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard};
 
 use simkernel::dev::BlockDevice;
 use simkernel::error::{Errno, KernelError, KernelResult};
@@ -48,6 +48,9 @@ pub struct BentoFs {
     fs: RwLock<Box<dyn FileSystem>>,
     generation: AtomicU64,
     ops: AtomicU64,
+    /// Operations currently parked in [`BentoFs::read_fs`] behind an
+    /// in-flight upgrade — the upgrade's quiesce barrier occupancy.
+    blocked_readers: AtomicU64,
 }
 
 impl std::fmt::Debug for BentoFs {
@@ -101,6 +104,7 @@ impl BentoFs {
             fs: RwLock::new(fs),
             generation: AtomicU64::new(0),
             ops: AtomicU64::new(0),
+            blocked_readers: AtomicU64::new(0),
         }))
     }
 
@@ -149,6 +153,44 @@ impl BentoFs {
         // when the new instance is installed.
         let pause_started = std::time::Instant::now();
         let mut guard = self.fs.write();
+        // Cooperative quiesce barrier.  On a single-CPU host the upgrade
+        // thread can otherwise run the entire state transfer without being
+        // preempted, so concurrent operations never even reach the lock and
+        // the pause is invisible to them.  With the write side held, wait
+        // until a concurrent caller parks in `read_fs()`, then briefly
+        // longer so the remaining runnable workers reach the barrier too,
+        // bounded by a small deadline so an idle mount upgrades without
+        // traffic to wait for.  Short sleeps, not `yield_now`: CFS's
+        // `sched_yield` often leaves the yielder running, while a sleep
+        // reliably hands the CPU to the workers.  Parked callers charge
+        // the wait to their trace spans as commit-wait, which is what
+        // makes the pause observable to the health monitor's phase-stall
+        // detector.
+        let grace_deadline = pause_started + std::time::Duration::from_millis(3);
+        loop {
+            let waiters = self.blocked_readers.load(Ordering::Relaxed);
+            if waiters > 0 {
+                // Settle: keep waiting while the barrier is still filling,
+                // so every runnable worker parks, not just the first.
+                let mut last = waiters;
+                let mut stable = 0u32;
+                while stable < 3 && std::time::Instant::now() < grace_deadline {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    let now_waiting = self.blocked_readers.load(Ordering::Relaxed);
+                    if now_waiting > last {
+                        last = now_waiting;
+                        stable = 0;
+                    } else {
+                        stable += 1;
+                    }
+                }
+                break;
+            }
+            if std::time::Instant::now() >= grace_deadline {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(20));
+        }
         let mut report = match guard.extract_state(&req, &self.sb) {
             Ok(state) => {
                 let entries = state.len();
@@ -182,6 +224,24 @@ impl BentoFs {
         self.ops.fetch_add(1, Ordering::Relaxed);
         Request::kernel()
     }
+
+    /// Takes the read side of the implementation lock.  Uncontended — the
+    /// overwhelmingly common case — this is a single `try_read`.  When an
+    /// [`BentoFs::upgrade`] holds (or is waiting for) the write side, the
+    /// blocked acquisition is attributed to the caller's active trace span
+    /// as commit-wait: the upgrade quiesce is a whole-filesystem
+    /// drain/flush, so the pause shows up in a latency window's phase
+    /// breakdown instead of as unattributed "other" time.
+    fn read_fs(&self) -> RwLockReadGuard<'_, Box<dyn FileSystem>> {
+        if let Some(guard) = self.fs.try_read() {
+            return guard;
+        }
+        let _wait = simkernel::trace::phase(simkernel::trace::Phase::CommitWait);
+        self.blocked_readers.fetch_add(1, Ordering::Relaxed);
+        let guard = self.fs.read();
+        self.blocked_readers.fetch_sub(1, Ordering::Relaxed);
+        guard
+    }
 }
 
 impl VfsFs for BentoFs {
@@ -195,22 +255,22 @@ impl VfsFs for BentoFs {
 
     fn lookup(&self, dir: u64, name: &str) -> KernelResult<InodeAttr> {
         let req = self.track();
-        self.fs.read().lookup(&req, &self.sb, dir, name)
+        self.read_fs().lookup(&req, &self.sb, dir, name)
     }
 
     fn getattr(&self, ino: u64) -> KernelResult<InodeAttr> {
         let req = self.track();
-        self.fs.read().getattr(&req, &self.sb, ino)
+        self.read_fs().getattr(&req, &self.sb, ino)
     }
 
     fn setattr(&self, ino: u64, set: &SetAttr) -> KernelResult<InodeAttr> {
         let req = self.track();
-        self.fs.read().setattr(&req, &self.sb, ino, set)
+        self.read_fs().setattr(&req, &self.sb, ino, set)
     }
 
     fn create(&self, dir: u64, name: &str, mode: FileMode) -> KernelResult<InodeAttr> {
         let req = self.track();
-        let fs = self.fs.read();
+        let fs = self.read_fs();
         let reply = fs.create(&req, &self.sb, dir, name, mode, OpenFlags::RDWR)?;
         fs.release(&req, &self.sb, reply.attr.ino, reply.fh)?;
         Ok(reply.attr)
@@ -218,42 +278,42 @@ impl VfsFs for BentoFs {
 
     fn mkdir(&self, dir: u64, name: &str, mode: FileMode) -> KernelResult<InodeAttr> {
         let req = self.track();
-        self.fs.read().mkdir(&req, &self.sb, dir, name, mode)
+        self.read_fs().mkdir(&req, &self.sb, dir, name, mode)
     }
 
     fn unlink(&self, dir: u64, name: &str) -> KernelResult<()> {
         let req = self.track();
-        self.fs.read().unlink(&req, &self.sb, dir, name)
+        self.read_fs().unlink(&req, &self.sb, dir, name)
     }
 
     fn rmdir(&self, dir: u64, name: &str) -> KernelResult<()> {
         let req = self.track();
-        self.fs.read().rmdir(&req, &self.sb, dir, name)
+        self.read_fs().rmdir(&req, &self.sb, dir, name)
     }
 
     fn rename(&self, olddir: u64, oldname: &str, newdir: u64, newname: &str) -> KernelResult<()> {
         let req = self.track();
-        self.fs.read().rename(&req, &self.sb, olddir, oldname, newdir, newname)
+        self.read_fs().rename(&req, &self.sb, olddir, oldname, newdir, newname)
     }
 
     fn link(&self, ino: u64, newdir: u64, newname: &str) -> KernelResult<InodeAttr> {
         let req = self.track();
-        self.fs.read().link(&req, &self.sb, ino, newdir, newname)
+        self.read_fs().link(&req, &self.sb, ino, newdir, newname)
     }
 
     fn open(&self, ino: u64, flags: OpenFlags) -> KernelResult<u64> {
         let req = self.track();
-        self.fs.read().open(&req, &self.sb, ino, flags)
+        self.read_fs().open(&req, &self.sb, ino, flags)
     }
 
     fn release(&self, ino: u64, fh: u64) -> KernelResult<()> {
         let req = self.track();
-        self.fs.read().release(&req, &self.sb, ino, fh)
+        self.read_fs().release(&req, &self.sb, ino, fh)
     }
 
     fn readdir(&self, ino: u64) -> KernelResult<Vec<DirEntry>> {
         let req = self.track();
-        let fs = self.fs.read();
+        let fs = self.read_fs();
         let fh = fs.opendir(&req, &self.sb, ino, OpenFlags::RDONLY)?;
         let entries = fs.readdir(&req, &self.sb, ino, fh);
         fs.releasedir(&req, &self.sb, ino, fh)?;
@@ -262,7 +322,7 @@ impl VfsFs for BentoFs {
 
     fn read_page(&self, ino: u64, page_index: u64, buf: &mut [u8]) -> KernelResult<usize> {
         let req = self.track();
-        let data = self.fs.read().read(
+        let data = self.read_fs().read(
             &req,
             &self.sb,
             ino,
@@ -288,7 +348,7 @@ impl VfsFs for BentoFs {
             return Ok(());
         }
         let valid = data.len().min((file_size - offset) as usize);
-        let written = self.fs.read().write(&req, &self.sb, ino, 0, offset, &data[..valid])?;
+        let written = self.read_fs().write(&req, &self.sb, ino, 0, offset, &data[..valid])?;
         if written != valid {
             return Err(KernelError::with_context(Errno::Io, "short write during writeback"));
         }
@@ -322,7 +382,7 @@ impl VfsFs for BentoFs {
             let take = page.len().min(valid - buf.len());
             buf.extend_from_slice(&page[..take]);
         }
-        let written = self.fs.read().write(&req, &self.sb, ino, 0, offset, &buf)?;
+        let written = self.read_fs().write(&req, &self.sb, ino, 0, offset, &buf)?;
         if written != buf.len() {
             return Err(KernelError::with_context(
                 Errno::Io,
@@ -338,21 +398,21 @@ impl VfsFs for BentoFs {
 
     fn fsync(&self, ino: u64, datasync: bool) -> KernelResult<()> {
         let req = self.track();
-        self.fs.read().fsync(&req, &self.sb, ino, 0, datasync)
+        self.read_fs().fsync(&req, &self.sb, ino, 0, datasync)
     }
 
     fn statfs(&self) -> KernelResult<StatFs> {
         let req = self.track();
-        self.fs.read().statfs(&req, &self.sb)
+        self.read_fs().statfs(&req, &self.sb)
     }
 
     fn sync_fs(&self) -> KernelResult<()> {
         let req = self.track();
-        self.fs.read().sync_fs(&req, &self.sb)
+        self.read_fs().sync_fs(&req, &self.sb)
     }
 
     fn write_path_stats(&self) -> Option<simkernel::vfs::WritePathStats> {
-        let mut stats = self.fs.read().write_path_stats()?;
+        let mut stats = self.read_fs().write_path_stats()?;
         // FsCore has no device handle, so the queue-depth figures are
         // filled in here where the SuperBlock is available.  They stay
         // zero on a sync (non-queued) device.
@@ -366,7 +426,7 @@ impl VfsFs for BentoFs {
     }
 
     fn op_stats(&self) -> Option<simkernel::vfs::FsOpStats> {
-        self.fs.read().op_stats()
+        self.read_fs().op_stats()
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -379,7 +439,7 @@ impl VfsFs for BentoFs {
 
     fn destroy(&self) -> KernelResult<()> {
         let req = Request::kernel();
-        self.fs.read().destroy(&req, &self.sb)
+        self.read_fs().destroy(&req, &self.sb)
     }
 }
 

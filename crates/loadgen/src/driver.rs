@@ -95,6 +95,11 @@ pub struct LoadConfig {
     pub window: Duration,
     /// Seed for all sampling (file popularity, sizes, offsets).
     pub seed: u64,
+    /// Health monitor fed by every worker: each completed/failed op is
+    /// observed (with its trace span when tracing is on), and the monitor
+    /// closes its op-indexed windows as the observations cross window
+    /// boundaries.  `None` costs nothing.
+    pub monitor: Option<Arc<monitor::HealthMonitor>>,
 }
 
 impl LoadConfig {
@@ -106,12 +111,20 @@ impl LoadConfig {
             error_policy: ErrorPolicy::FailFast,
             window: Duration::from_millis(50),
             seed: 0x10ad_6e4e,
+            monitor: None,
         }
     }
 
     /// An open-loop config at `rate` ops/sec.
     pub fn open(workers: usize, rate: f64, duration: Duration) -> Self {
         LoadConfig { driver: Driver::Open { workers, rate }, ..LoadConfig::closed(1, duration) }
+    }
+
+    /// Attaches a health monitor to the run.
+    #[must_use]
+    pub fn with_monitor(mut self, monitor: Arc<monitor::HealthMonitor>) -> Self {
+        self.monitor = Some(monitor);
+        self
     }
 }
 
@@ -282,6 +295,28 @@ impl LoadResult {
     pub fn is_clean(&self) -> bool {
         self.errors == 0 && !self.overall.is_empty()
     }
+
+    /// Min/mean/max completed-op rate in ops/sec over the run's *complete*
+    /// timeline windows (the trailing partial window would bias the min
+    /// low), or `None` when the run spanned less than one full window.
+    pub fn window_rate_summary(&self) -> Option<(f64, f64, f64)> {
+        let full = ((self.elapsed.as_nanos() / self.window.as_nanos().max(1)) as usize)
+            .min(self.timeline.len());
+        if full == 0 {
+            return None;
+        }
+        let per_sec = 1.0 / self.window.as_secs_f64().max(1e-9);
+        let rates = self.timeline[..full].iter().map(|&n| n as f64 * per_sec);
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        let mut sum = 0.0;
+        for rate in rates {
+            min = min.min(rate);
+            max = max.max(rate);
+            sum += rate;
+        }
+        Some((min, sum / full as f64, max))
+    }
 }
 
 /// Creates the spec's directory tree and pre-populates its files (sizes
@@ -427,6 +462,9 @@ pub fn run_load(vfs: &Arc<Vfs>, spec: &WorkloadSpec, cfg: &LoadConfig) -> Kernel
             .map_err(|_| KernelError::with_context(Errno::Io, "loadgen worker panicked"))??;
     }
     let elapsed = start.elapsed();
+    if let Some(mon) = &cfg.monitor {
+        mon.finish(); // close the trailing partial window
+    }
 
     let per_op: Vec<OpClassStats> = Arc::try_unwrap(merged)
         .map(|m| m.into_inner())
@@ -538,12 +576,17 @@ impl Worker {
             let completed_at = Instant::now();
             match outcome {
                 Ok(Some((kind, bytes))) => {
-                    if let Some(rec) = span.finish_as(kind.label()) {
+                    let rec = span.finish_as(kind.label());
+                    if let Some(rec) = rec {
                         self.traces[class_index(kind)].observe(rec);
+                    }
+                    let latency = completed_at.duration_since(measured_from);
+                    if let Some(mon) = &self.cfg.monitor {
+                        mon.observe(kind.label(), latency.as_nanos() as u64, false, rec.as_ref());
                     }
                     let stats = &mut self.stats[class_index(kind)];
                     stats.completed += 1;
-                    stats.latency.record_duration(completed_at.duration_since(measured_from));
+                    stats.latency.record_duration(latency);
                     self.bytes += bytes;
                     let idx = ((completed_at.duration_since(start).as_nanos() / window_ns)
                         as usize)
@@ -568,6 +611,9 @@ impl Worker {
                             // Attribute the failure to the class attempted.
                             let kind = self.last_attempt;
                             self.stats[class_index(kind)].errors += 1;
+                            if let Some(mon) = &self.cfg.monitor {
+                                mon.observe(kind.label(), 0, true, None);
+                            }
                         }
                     }
                 }

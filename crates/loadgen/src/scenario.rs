@@ -23,7 +23,7 @@ use simkernel::cost::CostModel;
 use simkernel::dev::{BlockDevice, SsdDevice};
 use simkernel::error::{Errno, KernelError, KernelResult};
 use simkernel::vfs::{MountOptions, OpenFlags, Vfs};
-use workloads::{mount_stack_on_device, FsStack};
+use workloads::{mount_stack_on_device, FsStack, MountedStack};
 
 use crate::driver::{run_load, ErrorPolicy, LoadConfig, LoadResult};
 use crate::spec::WorkloadSpec;
@@ -132,6 +132,21 @@ pub fn run_eio_under_load(
     crate::driver::prepare(&vfs, spec, cfg)?;
 
     let cfg = LoadConfig { error_policy: ErrorPolicy::Count, ..cfg.clone() };
+    // A health monitor attached to the run gets per-window registry counter
+    // deltas: publish this mount's counters into a private registry at
+    // every window close.
+    if let Some(mon) = &cfg.monitor {
+        let mounted = MountedStack {
+            vfs: Arc::clone(&vfs),
+            stack,
+            device: Arc::clone(&fault) as Arc<dyn BlockDevice>,
+        };
+        let registry = simkernel::registry::MetricsRegistry::new();
+        mon.set_snapshot_source(move || {
+            mounted.publish_metrics(&registry);
+            registry.snapshot()
+        });
+    }
     let quarter = cfg.duration / 4;
     let toggle_device = Arc::clone(&fault);
     let toggler = std::thread::spawn(move || {

@@ -18,6 +18,25 @@
 //! at snapshot points.  The registry itself is therefore never on an I/O
 //! fast path and a pair of mutexed maps is plenty.
 //!
+//! # Duplicate names
+//!
+//! Keys are not pre-registered, so "duplicate registration" cannot fail —
+//! it merges.  Two producers publishing the same counter key observe
+//! last-write-wins under [`MetricsRegistry::set_counter`] and additive
+//! merge under [`MetricsRegistry::add_counter`]; histogram keys merge
+//! samples ([`MetricsRegistry::observe_ns`] /
+//! [`MetricsRegistry::merge_histogram`]).  Producers that need isolation
+//! must namespace their keys (the convention is a dotted
+//! `"<stack>.<subsystem>.<metric>"` prefix).  This behavior is pinned by
+//! the `duplicate_names_merge_not_error` test below.
+//!
+//! # Windowed consumption
+//!
+//! Time-series consumers (the `monitor` crate's health sampler) take a
+//! snapshot per window and difference consecutive snapshots with
+//! [`MetricsSnapshot::counter_deltas`] — the registry stays cumulative,
+//! and windowing is entirely the consumer's business.
+//!
 //! # Example
 //!
 //! ```
@@ -79,6 +98,21 @@ impl MetricsSnapshot {
     /// Looks up a counter by exact key.
     pub fn counter(&self, key: &str) -> Option<u64> {
         self.counters.get(key).copied()
+    }
+
+    /// Per-key counter increase since `earlier` (`self` is the later
+    /// snapshot).  Keys absent from `earlier` count from zero; keys whose
+    /// value went *down* (a producer republished after its own reset)
+    /// saturate to zero rather than wrapping, and keys only present in
+    /// `earlier` are omitted — a window delta is about what grew.
+    pub fn counter_deltas(&self, earlier: &MetricsSnapshot) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .map(|(key, &now)| {
+                let before = earlier.counter(key).unwrap_or(0);
+                (key.clone(), now.saturating_sub(before))
+            })
+            .collect()
     }
 }
 
@@ -183,6 +217,79 @@ mod tests {
         assert_eq!(s.max, 500_000);
         assert!(s.p99 >= s.p50);
         assert!(s.p999 >= s.p99);
+    }
+
+    #[test]
+    fn counter_deltas_between_snapshots() {
+        let r = MetricsRegistry::new();
+        r.set_counter("a.ops", 100);
+        r.set_counter("b.resets", 50);
+        r.set_counter("c.gone", 7);
+        let earlier = r.snapshot();
+        r.set_counter("a.ops", 160);
+        r.set_counter("b.resets", 10); // producer reset underneath us
+        r.set_counter("d.new", 5);
+        let later = r.snapshot();
+        // `c.gone` unchanged -> delta 0 (still present; only keys missing
+        // from the later snapshot are omitted).
+        let deltas = later.counter_deltas(&earlier);
+        assert_eq!(deltas.get("a.ops"), Some(&60));
+        assert_eq!(deltas.get("b.resets"), Some(&0), "decreases saturate to zero");
+        assert_eq!(deltas.get("c.gone"), Some(&0));
+        assert_eq!(deltas.get("d.new"), Some(&5), "new keys count from zero");
+    }
+
+    #[test]
+    fn duplicate_names_merge_not_error() {
+        // Pin the documented duplicate-registration behavior: the registry
+        // has no registration step, so the "same" key from two producers
+        // merges — last-write-wins for set, additive for add, sample-merge
+        // for histograms.  Nothing panics and nothing is rejected.
+        let r = MetricsRegistry::new();
+        r.set_counter("shared.counter", 3);
+        r.set_counter("shared.counter", 9);
+        assert_eq!(r.snapshot().counter("shared.counter"), Some(9));
+        r.add_counter("shared.counter", 1);
+        assert_eq!(r.snapshot().counter("shared.counter"), Some(10));
+        r.observe_ns("shared.lat", 1_000);
+        let mut other = LatencyHistogram::new();
+        other.record(2_000);
+        r.merge_histogram("shared.lat", &other);
+        assert_eq!(r.snapshot().histograms["shared.lat"].count, 2);
+    }
+
+    #[test]
+    fn concurrent_publish_from_eight_threads() {
+        use std::sync::Arc;
+        let r = Arc::new(MetricsRegistry::new());
+        let threads = 8;
+        let per_thread = 250u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        // One shared additive counter (contended), one
+                        // thread-owned set counter, one shared histogram.
+                        r.add_counter("shared.adds", 1);
+                        r.set_counter(&format!("thread.{t}.last"), i + 1);
+                        r.observe_ns("shared.lat", (t as u64 + 1) * 1_000);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("shared.adds"), Some(threads as u64 * per_thread));
+        for t in 0..threads {
+            assert_eq!(snap.counter(&format!("thread.{t}.last")), Some(per_thread));
+        }
+        let lat = &snap.histograms["shared.lat"];
+        assert_eq!(lat.count, threads as u64 * per_thread);
+        assert_eq!(lat.min, 1_000);
+        assert!(lat.max >= 8_000);
     }
 
     #[test]

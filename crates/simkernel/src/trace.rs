@@ -155,12 +155,16 @@ static ENABLED: AtomicU64 = AtomicU64::new(0);
 static EPOCH: AtomicU64 = AtomicU64::new(0);
 /// Monotone operation-id source.
 static NEXT_OP_ID: AtomicU64 = AtomicU64::new(1);
-/// Records dropped to ring overflow since the last [`reset`].
-static DROPPED: AtomicU64 = AtomicU64::new(0);
 
 /// A per-thread ring of finished records, registered in [`rings`].
+///
+/// Each ring keeps its own overflow counter, so a drop storm can be
+/// attributed to the thread that outran the drainer instead of vanishing
+/// into a process-wide total.
 struct SpanRing {
     records: Mutex<VecDeque<SpanRecord>>,
+    /// Records this ring dropped to overflow since the last [`reset`].
+    dropped: AtomicU64,
 }
 
 fn rings() -> &'static Mutex<Vec<Arc<SpanRing>>> {
@@ -227,15 +231,37 @@ pub fn epoch() -> u64 {
 /// the overflow counter.
 pub fn reset() {
     EPOCH.fetch_add(1, Ordering::Relaxed);
-    DROPPED.store(0, Ordering::Relaxed);
     for ring in rings().lock().iter() {
         ring.records.lock().clear();
+        ring.dropped.store(0, Ordering::Relaxed);
     }
 }
 
-/// Records dropped to per-thread ring overflow since the last [`reset`].
+/// Records dropped to per-thread ring overflow since the last [`reset`]
+/// (the sum of [`dropped_per_thread`]).
 pub fn dropped() -> u64 {
-    DROPPED.load(Ordering::Relaxed)
+    rings().lock().iter().map(|r| r.dropped.load(Ordering::Relaxed)).sum()
+}
+
+/// Per-thread drop counts since the last [`reset`], one entry per
+/// registered ring (threads that never finished a span have no ring).
+/// Ring order is registration order and stable for the process lifetime.
+pub fn dropped_per_thread() -> Vec<u64> {
+    rings().lock().iter().map(|r| r.dropped.load(Ordering::Relaxed)).collect()
+}
+
+/// Publishes the drop counters into `registry`: the total under
+/// `trace.dropped_spans` and each ring's count under
+/// `trace.dropped_spans.ring<N>` (only rings that dropped, to keep clean
+/// snapshots small).  `set_counter` semantics — republishing refreshes.
+pub fn publish_dropped(registry: &crate::registry::MetricsRegistry) {
+    let per_thread = dropped_per_thread();
+    registry.set_counter("trace.dropped_spans", per_thread.iter().sum());
+    for (i, &n) in per_thread.iter().enumerate() {
+        if n > 0 {
+            registry.set_counter(&format!("trace.dropped_spans.ring{i}"), n);
+        }
+    }
 }
 
 /// Drains every thread's ring, returning all records finished under the
@@ -247,6 +273,16 @@ pub fn drain() -> Vec<SpanRecord> {
         out.extend(ring.records.lock().drain(..).filter(|r| r.epoch == now));
     }
     out
+}
+
+/// Drains every ring and returns only the `k` slowest records by total
+/// latency, slowest first — the flight-recorder shape: on an alert, grab
+/// the tail evidence without hauling the whole ring into the incident.
+pub fn drain_slowest(k: usize) -> Vec<SpanRecord> {
+    let mut all = drain();
+    all.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
+    all.truncate(k);
+    all
 }
 
 /// RAII root span for one logical operation.  Inert (all methods no-ops)
@@ -341,6 +377,7 @@ impl OpSpan {
             let ring = tls.ring.get_or_insert_with(|| {
                 let ring = Arc::new(SpanRing {
                     records: Mutex::new(VecDeque::with_capacity(RING_CAPACITY)),
+                    dropped: AtomicU64::new(0),
                 });
                 rings().lock().push(Arc::clone(&ring));
                 ring
@@ -348,7 +385,7 @@ impl OpSpan {
             let mut records = ring.records.lock();
             if records.len() == RING_CAPACITY {
                 records.pop_front();
-                DROPPED.fetch_add(1, Ordering::Relaxed);
+                ring.dropped.fetch_add(1, Ordering::Relaxed);
             }
             records.push_back(record);
             Some(record)
@@ -531,7 +568,7 @@ mod tests {
     }
 
     #[test]
-    fn ring_overflow_drops_oldest_and_counts() {
+    fn ring_overflow_drops_oldest_and_counts_per_thread() {
         let _gate = serial();
         let _trace = enable();
         reset();
@@ -540,7 +577,45 @@ mod tests {
             span.finish();
         }
         assert_eq!(dropped(), 10);
+        // The overflow is attributed to exactly one ring (this thread's),
+        // and the total is the per-thread sum.
+        let per_thread = dropped_per_thread();
+        assert_eq!(per_thread.iter().sum::<u64>(), 10);
+        assert_eq!(per_thread.iter().filter(|&&n| n > 0).count(), 1);
+        // Published through the registry: total plus only the hot ring.
+        let registry = crate::registry::MetricsRegistry::new();
+        publish_dropped(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("trace.dropped_spans"), Some(10));
+        let per_ring: Vec<u64> = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("trace.dropped_spans.ring"))
+            .map(|(_, &v)| v)
+            .collect();
+        assert_eq!(per_ring, vec![10]);
         assert_eq!(drain().len(), RING_CAPACITY);
+        reset();
+        assert_eq!(dropped(), 0, "reset clears the per-ring drop counters");
+    }
+
+    #[test]
+    fn drain_slowest_returns_the_tail_in_order() {
+        let _gate = serial();
+        let _trace = enable();
+        reset();
+        for i in 0..8u64 {
+            let span = op_span("mixed");
+            if i % 2 == 0 {
+                thread::sleep(Duration::from_millis(1));
+            }
+            span.finish();
+        }
+        let slowest = drain_slowest(3);
+        assert_eq!(slowest.len(), 3);
+        assert!(slowest.windows(2).all(|w| w[0].total_ns >= w[1].total_ns), "slowest first");
+        assert!(slowest[0].total_ns >= 1_000_000, "the slept spans dominate");
+        assert!(drain().is_empty(), "drain_slowest consumes the rings");
     }
 
     #[test]
